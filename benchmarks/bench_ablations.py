@@ -1,0 +1,32 @@
+"""Benchmarks A1/A2: bandwidth sweep and cache/dedup ablations."""
+
+from repro.experiments import ablations
+
+
+def bench_ablation_cache_dedup(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: ablations.cache_and_dedup(testbed), rounds=3, iterations=1
+    )
+    by_name = {row["scenario"]: row for row in result.rows}
+    assert by_name["whole-image warm"]["bytes_pulled_gb"] == 0.0
+    assert (
+        by_name["layered cold"]["bytes_pulled_gb"]
+        < by_name["whole-image cold"]["bytes_pulled_gb"]
+    )
+
+
+def bench_ablation_solver_comparison(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: ablations.solver_comparison(testbed), rounds=3, iterations=1
+    )
+    assert all(row["plan_equals_support"] for row in result.rows)
+
+
+def bench_ablation_bandwidth_point(benchmark):
+    """One sweep point (including recalibration + testbed rebuild)."""
+    result = benchmark.pedantic(
+        lambda: ablations.bandwidth_sweep(multipliers=[1.0]),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.rows) == 1

@@ -1,0 +1,24 @@
+"""Benchmark E5 (extension): cloud-edge offload sweep."""
+
+from repro.experiments import cloud as cloud_experiment
+from repro.workloads.cloud import CloudConfig, cloud_environment
+from repro.core.scheduler import DeepScheduler
+
+
+def bench_cloud_sweep(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: cloud_experiment.run(testbed, static_watts_grid=[1.0, 40.0]),
+        rounds=3,
+        iterations=1,
+    )
+    video_rows = [
+        r for r in result.rows if r["application"] == "video-processing"
+    ]
+    assert video_rows[0]["cloud_share"] > 0.0
+    assert video_rows[-1]["cloud_share"] == 0.0
+
+
+def bench_deep_schedule_three_devices(benchmark, testbed, video_app):
+    env = cloud_environment(testbed, CloudConfig(static_watts=2.0))
+    result = benchmark(lambda: DeepScheduler().schedule(video_app, env))
+    result.plan.validate_against(video_app)

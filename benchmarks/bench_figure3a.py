@@ -1,0 +1,32 @@
+"""Benchmark E3: regenerating Figure 3a (per-microservice energy).
+
+Times the DEEP rollout + per-service energy aggregation and checks the
+figure's qualitative claim (training dominates).
+"""
+
+from repro.experiments import figure3a
+
+
+def bench_figure3a_regeneration(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: figure3a.run(testbed), rounds=3, iterations=1
+    )
+    assert len(result.rows) == 12
+    assert "yes" in result.notes[0]
+
+
+def bench_figure3a_training_dominance(benchmark, testbed):
+    def series():
+        result = figure3a.run(testbed)
+        return {
+            (r["application"], r["service"]): r["energy_kj"]
+            for r in result.rows
+        }
+
+    energies = benchmark.pedantic(series, rounds=3, iterations=1)
+    for app in ("video-processing", "text-processing"):
+        trains = [v for (a, s), v in energies.items() if a == app and "train" in s]
+        others = [
+            v for (a, s), v in energies.items() if a == app and "train" not in s
+        ]
+        assert max(trains) > max(others)

@@ -1,0 +1,19 @@
+"""Benchmark E4: regenerating Figure 3b (three deployment methods).
+
+Times the 2-application × 3-method grid (six full scheduled rollouts)
+and checks the figure's shape: DEEP never loses and the deltas are
+sub-percent, as in the paper's 0.2 % / 0.34 % headline numbers.
+"""
+
+from repro.experiments import figure3b
+
+
+def bench_figure3b_regeneration(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: figure3b.run(testbed), rounds=3, iterations=1
+    )
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row["delta_vs_deep_j"] >= -1e-6
+        if row["method"] != "deep":
+            assert row["delta_vs_deep_j"] / (row["energy_kj"] * 1000) < 0.01

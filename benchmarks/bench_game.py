@@ -1,0 +1,75 @@
+"""Benchmark A3: Nash solver micro-benchmarks.
+
+Times each solver on the exact game shapes DEEP constructs (registries
+× devices — 2×2 on the paper's testbed, larger for the scaling
+ablation) and on classic references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.game import (
+    NormalFormGame,
+    all_equilibria,
+    fictitious_play,
+    lemke_howson,
+    matching_pennies,
+    pure_equilibria,
+    solve_zero_sum,
+    vertex_enumeration,
+)
+
+
+@pytest.fixture(scope="module")
+def deep_shaped_game():
+    """A 2×2 negated-energy coordination game like DEEP's."""
+    energy = np.array([[857.5, 390.2], [857.3, 387.2]])
+    return NormalFormGame(-energy, -energy)
+
+
+@pytest.fixture(scope="module")
+def larger_game():
+    rng = np.random.default_rng(42)
+    return NormalFormGame(rng.normal(size=(4, 6)), rng.normal(size=(4, 6)))
+
+
+def bench_pure_equilibria_2x2(benchmark, deep_shaped_game):
+    eqs = benchmark(lambda: pure_equilibria(deep_shaped_game))
+    assert len(eqs) >= 1
+
+
+def bench_support_enumeration_2x2(benchmark, deep_shaped_game):
+    eqs = benchmark(lambda: all_equilibria(deep_shaped_game))
+    assert len(eqs) >= 1
+
+
+def bench_support_enumeration_4x6(benchmark, larger_game):
+    eqs = benchmark(lambda: all_equilibria(larger_game))
+    assert all(
+        larger_game.is_nash(e.row_strategy, e.col_strategy) for e in eqs
+    )
+
+
+def bench_lemke_howson_4x6(benchmark, larger_game):
+    eq = benchmark(lambda: lemke_howson(larger_game, 0))
+    assert larger_game.is_nash(eq.row_strategy, eq.col_strategy, tol=1e-6)
+
+
+def bench_vertex_enumeration_3x3(benchmark):
+    rng = np.random.default_rng(7)
+    game = NormalFormGame(rng.normal(size=(3, 3)), rng.normal(size=(3, 3)))
+    eqs = benchmark(lambda: vertex_enumeration(game))
+    assert all(game.is_nash(e.row_strategy, e.col_strategy) for e in eqs)
+
+
+def bench_fictitious_play_1k_rounds(benchmark):
+    game = matching_pennies()
+    result = benchmark(lambda: fictitious_play(game, iterations=1000))
+    assert result.exploitability < 0.1
+
+
+def bench_zero_sum_lp_10x10(benchmark):
+    rng = np.random.default_rng(13)
+    game = NormalFormGame(rng.normal(size=(10, 10)))
+    sol = benchmark(lambda: solve_zero_sum(game))
+    assert game.is_nash(sol.row_strategy, sol.col_strategy, tol=1e-6)

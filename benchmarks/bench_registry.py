@@ -1,0 +1,87 @@
+"""Registry substrate micro-benchmarks: publish, mirror, pull paths."""
+
+import pytest
+
+from repro.model.device import Arch
+from repro.registry.base import ImageReference, mirror_image
+from repro.registry.cache import ImageCache
+from repro.registry.client import PullPolicy, RegistryClient
+from repro.registry.hub import DockerHub
+from repro.registry.images import OFFICIAL_BASES, build_image
+from repro.registry.minio import MinioStore
+from repro.registry.regional import RegionalRegistry
+
+
+def bench_build_and_push_image(benchmark):
+    def publish():
+        hub = DockerHub()
+        mlist, blobs = build_image(
+            "acme/app", 5.78, base=OFFICIAL_BASES["python:3.9"]
+        )
+        hub.push_image("acme/app", "latest", mlist, blobs)
+        return hub
+
+    hub = benchmark(publish)
+    assert hub.has_image(ImageReference("acme/app"), Arch.AMD64)
+
+
+def bench_mirror_to_regional(benchmark):
+    hub = DockerHub()
+    mlist, blobs = build_image("acme/app", 2.36, base=OFFICIAL_BASES["python:3.9"])
+    hub.push_image("acme/app", "latest", mlist, blobs)
+
+    def mirror():
+        regional = RegionalRegistry(store=MinioStore(capacity_gb=50.0))
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app")
+        return regional
+
+    regional = benchmark(mirror)
+    assert regional.has_image(ImageReference("aau/app"), Arch.ARM64)
+
+
+def bench_cold_pull_whole_image(benchmark):
+    hub = DockerHub()
+    mlist, blobs = build_image("acme/app", 1.0, base=OFFICIAL_BASES["alpine:3"])
+    hub.push_image("acme/app", "latest", mlist, blobs)
+    client = RegistryClient(PullPolicy.WHOLE_IMAGE)
+
+    def pull():
+        cache = ImageCache(64.0)
+        return client.pull(hub, ImageReference("acme/app"), Arch.AMD64, cache)
+
+    result = benchmark(pull)
+    assert result.bytes_transferred == result.bytes_total
+
+
+def bench_warm_pull_cache_hit(benchmark):
+    hub = DockerHub()
+    mlist, blobs = build_image("acme/app", 1.0, base=OFFICIAL_BASES["alpine:3"])
+    hub.push_image("acme/app", "latest", mlist, blobs)
+    client = RegistryClient(PullPolicy.WHOLE_IMAGE)
+    cache = ImageCache(64.0)
+    client.pull(hub, ImageReference("acme/app"), Arch.AMD64, cache)
+
+    result = benchmark(
+        lambda: client.pull(hub, ImageReference("acme/app"), Arch.AMD64, cache)
+    )
+    assert result.cache_hit
+
+
+def bench_layered_sibling_pull(benchmark):
+    hub = DockerHub()
+    for repo in ("acme/a", "acme/b"):
+        mlist, blobs = build_image(repo, 1.0, base=OFFICIAL_BASES["python:3.9"])
+        hub.push_image(repo, "latest", mlist, blobs)
+    client = RegistryClient(PullPolicy.LAYERED)
+    cache = ImageCache(64.0)
+    client.pull(hub, ImageReference("acme/a"), Arch.AMD64, cache)
+
+    def sibling_pull():
+        # Fresh copy of the cache per round so dedup state is identical.
+        import copy
+
+        local = copy.deepcopy(cache)
+        return client.pull(hub, ImageReference("acme/b"), Arch.AMD64, local)
+
+    result = benchmark(sibling_pull)
+    assert result.bytes_transferred < result.bytes_total

@@ -1,0 +1,41 @@
+"""Benchmark A4: scheduling scalability on synthetic instances.
+
+Times DEEP's Nash sweep as the device fleet and DAG grow — the knob
+the paper's two-device testbed never exercises.
+"""
+
+import pytest
+
+from repro.core.baselines import GreedyEnergyScheduler
+from repro.core.scheduler import DeepScheduler
+from repro.sim.rng import RngRegistry
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    synthetic_application,
+    synthetic_environment,
+)
+
+
+def _instance(n_devices: int, width: int):
+    rng = RngRegistry(99)
+    env = synthetic_environment(n_devices, rng)
+    app = synthetic_application(
+        f"bench-{n_devices}x{width}",
+        SyntheticConfig(layers=4, width=width),
+        rng,
+    )
+    return env, app
+
+
+@pytest.mark.parametrize("n_devices,width", [(2, 2), (4, 3), (8, 4)])
+def bench_deep_scaling(benchmark, n_devices, width):
+    env, app = _instance(n_devices, width)
+    result = benchmark(lambda: DeepScheduler().schedule(app, env))
+    result.plan.validate_against(app)
+
+
+@pytest.mark.parametrize("n_devices,width", [(8, 4)])
+def bench_greedy_scaling_reference(benchmark, n_devices, width):
+    env, app = _instance(n_devices, width)
+    result = benchmark(lambda: GreedyEnergyScheduler().schedule(app, env))
+    result.plan.validate_against(app)

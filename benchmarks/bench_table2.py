@@ -1,0 +1,42 @@
+"""Benchmark E1: regenerating Table II.
+
+Times the full Table II regeneration (24 standalone rollouts through
+scheduler + orchestrator + meters) and the single-service path, and
+asserts the regenerated cells stay inside the published ranges — a
+benchmark that silently drifted out of range would be meaningless.
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.table2 import benchmark_service
+from repro.workloads.table2 import row as table_row
+
+
+def bench_table2_full_regeneration(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: table2.run(testbed), rounds=3, iterations=1
+    )
+    assert len(result.rows) == 24
+    assert all(r["in_range"] for r in result.rows)
+
+
+def bench_table2_single_service_medium(benchmark, testbed):
+    tp, ct, ec = benchmark.pedantic(
+        lambda: benchmark_service(testbed, "vp-ha-train", "medium"),
+        rounds=5,
+        iterations=1,
+    )
+    published = table_row("video-processing", "ha-train")
+    assert published.ct_s.contains(ct, slack=0.05)
+    assert published.ec_medium_j.contains(ec, slack=0.05)
+
+
+def bench_table2_single_service_small(benchmark, testbed):
+    tp, ct, ec = benchmark.pedantic(
+        lambda: benchmark_service(testbed, "tp-ha-train", "small"),
+        rounds=5,
+        iterations=1,
+    )
+    published = table_row("text-processing", "ha-train")
+    assert published.ec_small_j.contains(ec, slack=0.05)

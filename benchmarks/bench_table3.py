@@ -1,0 +1,30 @@
+"""Benchmark E2: regenerating Table III (DEEP's Nash scheduling sweep).
+
+Times one full DEEP schedule per application — the per-microservice
+game construction + equilibrium computation loop — and checks the
+resulting distribution against the paper.
+"""
+
+import pytest
+
+from repro.core.scheduler import DeepScheduler
+from repro.experiments import table3
+from repro.workloads.testbed import HUB_NAME, REGIONAL_NAME
+
+
+def bench_table3_regeneration(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: table3.run(testbed), rounds=5, iterations=1
+    )
+    assert all(r["match"] for r in result.rows)
+
+
+def bench_deep_schedule_video(benchmark, testbed, video_app):
+    result = benchmark(lambda: DeepScheduler().schedule(video_app, testbed.env))
+    pct = result.plan.distribution_percent()
+    assert pct[("medium", HUB_NAME)] == pytest.approx(83.33, abs=0.5)
+
+
+def bench_deep_schedule_text(benchmark, testbed, text_app):
+    result = benchmark(lambda: DeepScheduler().schedule(text_app, testbed.env))
+    assert result.plan.registry_share(REGIONAL_NAME) == pytest.approx(5 / 6)

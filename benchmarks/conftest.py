@@ -1,0 +1,39 @@
+"""Benchmark fixtures: one calibrated testbed per session.
+
+Benchmarks measure the *reproduction pipeline itself* — calibration,
+Nash scheduling, orchestrated rollout, experiment regeneration — since
+the simulated workloads complete in simulated (not wall-clock) time.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.workloads.apps import text_processing, video_processing  # noqa: E402
+from repro.workloads.calibration import calibrate  # noqa: E402
+from repro.workloads.testbed import build_testbed  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def cal():
+    return calibrate()
+
+
+@pytest.fixture(scope="session")
+def testbed(cal):
+    return build_testbed(cal)
+
+
+@pytest.fixture(scope="session")
+def video_app(cal):
+    return video_processing(cal)
+
+
+@pytest.fixture(scope="session")
+def text_app(cal):
+    return text_processing(cal)

@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Guarantees ``import repro`` resolves to ``src/repro`` even when the
+package is not installed (the offline CI box cannot run PEP-517
+editable installs because the ``wheel`` package is absent).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,67 @@
+"""Cloud–edge scheduling (the paper's future work, implemented).
+
+Adds a cloud VM to the calibrated testbed and sweeps the static power
+attributed to it, showing where DEEP's Nash scheduler starts offloading
+the compute-heavy training stages — and why the text application never
+leaves the edge.
+
+Run:  python examples/cloud_edge.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import DeepScheduler
+from repro.workloads import build_testbed, text_processing, video_processing
+from repro.workloads.cloud import (
+    CLOUD_NAME,
+    CloudConfig,
+    cloud_environment,
+    cloud_offload_report,
+)
+
+
+def main() -> None:
+    testbed = build_testbed()
+
+    # --- where does each microservice land with a cheap cloud? ----------
+    cheap = CloudConfig(static_watts=2.0)
+    env = cloud_environment(testbed, cheap)
+    app = video_processing(testbed.calibration)
+    result = DeepScheduler().schedule(app, env)
+    print("Video placement with a cheap cloud (2 W attributed static):")
+    for assignment in result.plan:
+        marker = "  <-- offloaded" if assignment.device == CLOUD_NAME else ""
+        print(
+            f"  {assignment.service:16s} {assignment.registry:12s} "
+            f"on {assignment.device}{marker}"
+        )
+
+    # --- the crossover sweep ---------------------------------------------
+    print("\nOffload crossover (share of services DEEP places in the cloud):")
+    print(f"{'static W':>9} | {'video share':>11} {'video E [J]':>12} "
+          f"| {'text share':>10} {'text E [J]':>11}")
+    video, text = video_processing(testbed.calibration), text_processing(
+        testbed.calibration
+    )
+    grid = [1.0, 5.0, 10.0, 15.0, 25.0, 40.0]
+    video_points = cloud_offload_report(testbed, video, grid)
+    text_points = cloud_offload_report(testbed, text, grid)
+    for vp, tp in zip(video_points, text_points):
+        print(
+            f"{vp.cloud_static_watts:>9.1f} | {vp.cloud_share:>10.0%} "
+            f"{vp.total_energy_j:>12.1f} | {tp.cloud_share:>9.0%} "
+            f"{tp.total_energy_j:>11.1f}"
+        )
+    print(
+        "\nReading: the video inference stages (compute-heavy, modest "
+        "dataflows) are worth shipping\nto a fast, hub-adjacent VM until "
+        "the attributed static draw eats the gain; the trains'\nupstream "
+        "frame data and text's small tasks never justify the WAN."
+    )
+
+
+if __name__ == "__main__":
+    main()

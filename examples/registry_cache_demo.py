@@ -1,0 +1,101 @@
+"""Tour of the registry substrate: MinIO, mirroring, caching, dedup.
+
+Demonstrates the storage layer the paper builds on:
+
+1. publish a multi-arch image to the simulated Docker Hub,
+2. mirror it into the MinIO-backed regional registry (Table I),
+3. pull under the paper's whole-image model vs the layered extension,
+4. watch LRU eviction on a storage-constrained device, and
+5. trip Docker Hub's pull rate limiter.
+
+Run:  python examples/registry_cache_demo.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.model.device import Arch
+from repro.registry import (
+    DockerHub,
+    ImageCache,
+    ImageReference,
+    MinioStore,
+    OFFICIAL_BASES,
+    PullPolicy,
+    PullRateLimiter,
+    RateLimitExceeded,
+    RegionalRegistry,
+    RegistryClient,
+    build_image,
+    mirror_image,
+)
+
+
+def main() -> None:
+    # 1. Publish to the hub -----------------------------------------------
+    hub = DockerHub()
+    for repo, size in (("sina88/vp-ha-train", 5.78), ("sina88/vp-ha-infer", 3.53)):
+        mlist, blobs = build_image(repo, size, base=OFFICIAL_BASES["python:3.9"])
+        hub.push_image(repo, "latest", mlist, blobs)
+    print("hub catalog:", hub.catalog())
+    print(f"hub unique blob bytes: {hub.storage_bytes() / 1e9:.2f} GB")
+
+    # 2. Mirror into the regional MinIO-backed registry -------------------
+    regional = RegionalRegistry(store=MinioStore(capacity_gb=100.0))
+    for repo in hub.catalog():
+        mirror_image(hub, regional, repo, "latest", repo.replace("sina88/", "aau/"))
+    print("\nregional catalog:", regional.catalog())
+    print(f"regional MinIO used: {regional.persisted_bytes() / 1e9:.2f} GB "
+          f"of {regional.store.capacity_bytes / 1e9:.0f} GB")
+    print("sample MinIO keys:",
+          [o.key for o in regional.store.list_objects(regional.bucket)][:3])
+
+    # 3. Whole-image vs layered pulls -------------------------------------
+    print("\n--- pull policies (train image then its infer sibling) ---")
+    for policy in (PullPolicy.WHOLE_IMAGE, PullPolicy.LAYERED):
+        client = RegistryClient(policy)
+        cache = ImageCache(64.0, "medium")
+        first = client.pull(
+            hub, ImageReference("sina88/vp-ha-train"), Arch.AMD64, cache
+        )
+        second = client.pull(
+            hub, ImageReference("sina88/vp-ha-infer"), Arch.AMD64, cache
+        )
+        print(
+            f"{policy.value:12s}: train {first.bytes_transferred / 1e9:.2f} GB, "
+            f"infer {second.bytes_transferred / 1e9:.2f} GB "
+            f"(hit ratio {second.hit_ratio:.0%})"
+        )
+
+    # 4. LRU eviction on a tiny device ------------------------------------
+    print("\n--- LRU eviction on an 8 GB device ---")
+    client = RegistryClient(PullPolicy.WHOLE_IMAGE)
+    tiny = ImageCache(8.0, "tiny")
+    client.pull(hub, ImageReference("sina88/vp-ha-train"), Arch.AMD64, tiny)
+    result = client.pull(hub, ImageReference("sina88/vp-ha-infer"), Arch.AMD64, tiny)
+    print(f"evictions while admitting infer: {len(result.evictions)} "
+          f"({sum(e.size_bytes for e in result.evictions) / 1e9:.2f} GB freed)")
+    print(f"cache now holds {tiny.used_bytes / 1e9:.2f} GB in {len(tiny)} layers")
+
+    # 5. Hub rate limiting --------------------------------------------------
+    print("\n--- Docker Hub pull metering ---")
+    metered = DockerHub(rate_limiter=PullRateLimiter(limit=3, window_s=21600))
+    mlist, blobs = build_image("acme/app", 0.1, base=OFFICIAL_BASES["alpine:3"])
+    metered.push_image("acme/app", "latest", mlist, blobs)
+    client = RegistryClient(PullPolicy.WHOLE_IMAGE)
+    for attempt in range(5):
+        try:
+            cache = ImageCache(16.0)  # fresh cache: every pull is cold
+            client.pull(
+                metered, ImageReference("acme/app"), Arch.AMD64, cache,
+                client_name="edge-device", now_s=attempt * 60.0,
+            )
+            print(f"pull {attempt + 1}: ok")
+        except RateLimitExceeded as exc:
+            print(f"pull {attempt + 1}: RATE LIMITED ({exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Video-processing case study: the paper's Fig. 3 for one application.
+
+Compares the three deployment methods (DEEP hybrid, exclusively
+regional, exclusively Docker Hub) on the video pipeline, printing the
+per-microservice energy bars of Fig. 3a and the method totals of
+Fig. 3b, plus the monitoring log of the DEEP rollout.
+
+Run:  python examples/video_processing.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import DeepScheduler, FixedRegistryScheduler
+from repro.experiments.runner import deploy_and_run
+from repro.model.units import j_to_kj
+from repro.workloads import build_testbed, video_processing
+from repro.workloads.testbed import HUB_NAME, REGIONAL_NAME
+
+
+def main() -> None:
+    testbed = build_testbed()
+    app = video_processing(testbed.calibration)
+
+    methods = [
+        DeepScheduler(),
+        FixedRegistryScheduler(REGIONAL_NAME),
+        FixedRegistryScheduler(HUB_NAME),
+    ]
+
+    reports = {}
+    for scheduler in methods:
+        plan = scheduler.schedule(app, testbed.env).plan
+        reports[scheduler.name] = deploy_and_run(testbed, app, plan)
+
+    # --- Fig. 3a: per-microservice energy under DEEP -------------------
+    deep = reports["deep"]
+    print("Figure 3a — energy per microservice (DEEP schedule):")
+    peak = max(r.energy_j for r in deep.records)
+    for record in deep.records:
+        bar = "#" * int(40 * record.energy_j / peak)
+        print(
+            f"  {record.service:16s} {j_to_kj(record.energy_j):6.2f} kJ "
+            f"[{record.device:6s}|{record.registry:10s}] {bar}"
+        )
+
+    # --- Fig. 3b: method totals ----------------------------------------
+    print("\nFigure 3b — total energy by deployment method:")
+    deep_j = deep.total_energy_j
+    for name, report in reports.items():
+        delta = report.total_energy_j - deep_j
+        print(
+            f"  {name:24s} {j_to_kj(report.total_energy_j):7.3f} kJ"
+            f"  (DEEP {'+' if delta >= 0 else ''}{delta:.1f} J)"
+        )
+
+    # --- execution log ---------------------------------------------------
+    print("\nMonitoring log (DEEP rollout, last 10 events):")
+    print(deep.monitor.render(limit=10))
+
+    # --- phase breakdown -------------------------------------------------
+    print("\nPhase breakdown of the DEEP rollout:")
+    ledger = deep.ledger
+    print(f"  active energy Ea: {ledger.active_j():9.1f} J")
+    print(f"  static energy Es: {ledger.static_j():9.1f} J")
+    print(f"  per device: { {k: round(v, 1) for k, v in ledger.by_device().items()} }")
+    print(f"  per registry: { {k: round(v, 1) for k, v in ledger.by_registry().items()} }")
+
+
+if __name__ == "__main__":
+    main()

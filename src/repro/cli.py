@@ -1,0 +1,99 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.cli table2      # Table II benchmarks
+    python -m repro.cli table3      # Table III distribution
+    python -m repro.cli fig3a       # Figure 3a per-service energy
+    python -m repro.cli fig3b       # Figure 3b method comparison
+    python -m repro.cli ablations   # A1–A4
+    python -m repro.cli all         # everything above
+    python -m repro.cli calibration # dump the fitted constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import ablations, cloud, figure3a, figure3b, table2, table3
+from .experiments.runner import ExperimentResult
+from .workloads.calibration import calibrate
+from .workloads.testbed import build_testbed
+
+
+def _run_calibration_dump() -> str:
+    cal = calibrate()
+    lines = ["== Calibrated constants =="]
+    for device, power in cal.power.items():
+        lines.append(
+            f"{device}: static={power.static_watts:.3f} W "
+            f"compute={power.compute_watts:.3f} W "
+            f"pull={power.pull_watts:.3f} W "
+            f"transfer={power.transfer_watts:.3f} W "
+            f"(fit rms {cal.fit_residual_j[device]:.1f} J)"
+        )
+    lines.append(
+        f"hub bw: {dict(cal.config.hub_bw_mbps)} Mbit/s, "
+        f"startup {cal.config.hub_startup_s}s; regional bw: "
+        f"{dict(cal.config.regional_bw_mbps)} Mbit/s, startup "
+        f"{cal.config.regional_startup_s}s"
+    )
+    for name, svc in cal.services.items():
+        lines.append(
+            f"{name:16s} cpu={svc.cpu_mi:10.0f} MI  input={svc.input_mb:8.1f} MB"
+            f"  warm={svc.warm_fraction:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the DEEP paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
+                 "all", "calibration"],
+        help="which artefact to regenerate",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "calibration":
+        print(_run_calibration_dump())
+        return 0
+
+    testbed = build_testbed()
+    runs: Dict[str, Callable[[], ExperimentResult]] = {
+        "table2": lambda: table2.run(testbed),
+        "table3": lambda: table3.run(testbed),
+        "fig3a": lambda: figure3a.run(testbed),
+        "fig3b": lambda: figure3b.run(testbed),
+        "cloud": lambda: cloud.run(testbed),
+    }
+    selected: List[str]
+    if args.experiment == "all":
+        selected = ["table2", "table3", "fig3a", "fig3b", "ablations", "cloud"]
+    else:
+        selected = [args.experiment]
+
+    for name in selected:
+        if name == "ablations":
+            for result in (
+                ablations.bandwidth_sweep(),
+                ablations.cache_and_dedup(build_testbed()),
+                ablations.solver_comparison(testbed),
+                ablations.scaling(),
+            ):
+                print(result.to_text())
+                print()
+        else:
+            print(runs[name]().to_text())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

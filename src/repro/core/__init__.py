@@ -1,0 +1,59 @@
+"""DEEP's core: cost tables, per-microservice games, the Nash scheduler,
+the paper's baselines, and the Figure-1 pipeline."""
+
+from .baselines import (
+    FixedRegistryScheduler,
+    GreedyEnergyScheduler,
+    GreedyTimeScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from .costs import CostMatrix, CostTable, SchedulerState
+from .environment import Environment
+from .games import (
+    NO_PENALTIES,
+    PenaltyWeights,
+    build_penalties,
+    microservice_game,
+    select_equilibrium,
+)
+from .pipeline import (
+    DependencyReport,
+    DeploymentBundle,
+    RequirementReport,
+    analyze_dependencies,
+    analyze_requirements,
+    plan_deployment,
+)
+from .placement import Assignment, PlacementError, PlacementPlan
+from .scheduler import DeepScheduler, NashSolver, ScheduleResult, SchedulerBase
+
+__all__ = [
+    "Assignment",
+    "CostMatrix",
+    "CostTable",
+    "DeepScheduler",
+    "DependencyReport",
+    "DeploymentBundle",
+    "Environment",
+    "FixedRegistryScheduler",
+    "GreedyEnergyScheduler",
+    "GreedyTimeScheduler",
+    "NO_PENALTIES",
+    "NashSolver",
+    "PenaltyWeights",
+    "PlacementError",
+    "PlacementPlan",
+    "RandomScheduler",
+    "RequirementReport",
+    "RoundRobinScheduler",
+    "ScheduleResult",
+    "SchedulerBase",
+    "SchedulerState",
+    "analyze_dependencies",
+    "analyze_requirements",
+    "build_penalties",
+    "microservice_game",
+    "plan_deployment",
+    "select_equilibrium",
+]

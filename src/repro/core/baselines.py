@@ -1,0 +1,123 @@
+"""Baseline schedulers: the paper's comparators plus ablation policies.
+
+The evaluation (Fig. 3b) compares DEEP against two deployment methods:
+
+* **exclusively Docker Hub** — every image pulled from the hub,
+* **exclusively regional** — every image pulled from the regional
+  registry,
+
+with devices still chosen to minimise energy (the paper varies only
+the registry dimension).  The extra policies (greedy time, round
+robin, random) are ours, used by the ablation benchmarks to place
+DEEP's deltas in context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sim.rng import RngRegistry, default_registry
+from .costs import CostMatrix, SchedulerState
+from .environment import Environment
+from .placement import PlacementError
+from .scheduler import SchedulerBase
+
+
+class FixedRegistryScheduler(SchedulerBase):
+    """Pin the registry; choose the min-energy feasible device.
+
+    This is the paper's "exclusively X" deployment method for
+    ``registry_name = X``.
+    """
+
+    def __init__(self, registry_name: str) -> None:
+        if not registry_name:
+            raise ValueError("registry_name must be non-empty")
+        self.registry_name = registry_name
+        self.name = f"exclusively-{registry_name}"
+
+    def choose(
+        self, costs: CostMatrix, state: SchedulerState, env: Environment
+    ) -> Tuple[int, int]:
+        try:
+            g = costs.registries.index(self.registry_name)
+        except ValueError:
+            raise PlacementError(
+                f"registry {self.registry_name!r} not in environment "
+                f"({costs.registries})"
+            ) from None
+        row = np.where(costs.feasible[g], costs.energy_j[g], np.inf)
+        if not np.isfinite(row).any():
+            raise PlacementError(
+                f"{costs.service!r}: no feasible device when pinned to "
+                f"{self.registry_name!r}"
+            )
+        return g, int(np.argmin(row))
+
+
+class GreedyEnergyScheduler(SchedulerBase):
+    """Joint argmin of energy over all (registry, device) cells.
+
+    Equivalent to DEEP with zero penalties: the cooperative optimum of
+    each per-microservice game.  Separating it out gives the ablations
+    a penalty-free reference.
+    """
+
+    name = "greedy-energy"
+
+    def choose(
+        self, costs: CostMatrix, state: SchedulerState, env: Environment
+    ) -> Tuple[int, int]:
+        return costs.best_cell()
+
+
+class GreedyTimeScheduler(SchedulerBase):
+    """Joint argmin of completion time (latency-first, HEFT-flavoured)."""
+
+    name = "greedy-time"
+
+    def choose(
+        self, costs: CostMatrix, state: SchedulerState, env: Environment
+    ) -> Tuple[int, int]:
+        masked = np.where(costs.feasible, costs.completion_s, np.inf)
+        return np.unravel_index(int(np.argmin(masked)), masked.shape)  # type: ignore[return-value]
+
+
+class RoundRobinScheduler(SchedulerBase):
+    """Cycle devices in fleet order; registry = min energy given device."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, costs: CostMatrix, state: SchedulerState, env: Environment
+    ) -> Tuple[int, int]:
+        n = len(costs.devices)
+        for offset in range(n):
+            d = (self._next + offset) % n
+            column = np.where(costs.feasible[:, d], costs.energy_j[:, d], np.inf)
+            if np.isfinite(column).any():
+                self._next = (d + 1) % n
+                return int(np.argmin(column)), d
+        raise PlacementError(f"{costs.service!r}: no feasible device at all")
+
+
+class RandomScheduler(SchedulerBase):
+    """Uniformly random feasible cell (seeded; the chaos baseline)."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[RngRegistry] = None) -> None:
+        registry = rng if rng is not None else default_registry()
+        self._stream = registry.stream("random-scheduler")
+
+    def choose(
+        self, costs: CostMatrix, state: SchedulerState, env: Environment
+    ) -> Tuple[int, int]:
+        cells = np.argwhere(costs.feasible)
+        pick = cells[int(self._stream.integers(len(cells)))]
+        return int(pick[0]), int(pick[1])

@@ -1,0 +1,145 @@
+"""Per-microservice game construction (the paper's Sec. III-E).
+
+For each microservice DEEP plays a two-player game: the **registry
+selector** (row player) picks ``r_g``, the **device selector** (column
+player) picks ``d_j``.  Base payoffs for both are the negated energy
+``-EC(m_i, r_g, d_j)`` — the cooperative objective — perturbed by
+asymmetric penalties that create the prisoner's-dilemma tension the
+paper invokes:
+
+* the registry player pays for *bandwidth contention*: joules-equivalent
+  proportional to the bytes its registry has already served this
+  schedule (a busy hub link is privately unattractive), and
+* the device player pays for *occupancy*: proportional to the busy
+  seconds already committed to the device at its static power (idling
+  on a loaded device is privately unattractive).
+
+With zero penalty weights the game is a pure coordination game whose
+best equilibrium is exactly the joint energy minimum; with positive
+weights players can rationally deviate to individually cheaper but
+jointly worse cells — the cooperate/defect structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..game.dilemma import energy_game
+from ..game.normal_form import Equilibrium, NormalFormGame
+from ..model.units import BYTES_PER_GB
+from .costs import CostMatrix, SchedulerState
+from .environment import Environment
+
+
+@dataclass(frozen=True)
+class PenaltyWeights:
+    """Strengths of the dilemma-inducing penalties.
+
+    ``registry_contention`` is joules per gigabyte already served by a
+    registry; ``device_occupancy`` scales each device's committed busy
+    time (at its static power) into a joule penalty.  Defaults keep the
+    tension mild so DEEP tracks the energy optimum, as in the paper.
+    """
+
+    registry_contention_j_per_gb: float = 0.1
+    device_occupancy_factor: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.registry_contention_j_per_gb < 0:
+            raise ValueError("registry_contention_j_per_gb must be >= 0")
+        if self.device_occupancy_factor < 0:
+            raise ValueError("device_occupancy_factor must be >= 0")
+
+
+#: Penalties disabled: the game degenerates to joint minimisation.
+NO_PENALTIES = PenaltyWeights(0.0, 0.0)
+
+
+def build_penalties(
+    costs: CostMatrix,
+    state: SchedulerState,
+    env: Environment,
+    weights: PenaltyWeights,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row (registry) and column (device) penalty matrices in joules."""
+    shape = costs.energy_j.shape
+    row_penalty = np.zeros(shape)
+    col_penalty = np.zeros(shape)
+    for g, registry in enumerate(costs.registries):
+        served_gb = state.registry_bytes.get(registry, 0) / BYTES_PER_GB
+        row_penalty[g, :] = weights.registry_contention_j_per_gb * served_gb
+    for d, device in enumerate(costs.devices):
+        busy = state.busy_s.get(device, 0.0)
+        static = env.device(device).power.static_watts
+        col_penalty[:, d] = weights.device_occupancy_factor * busy * static
+    return row_penalty, col_penalty
+
+
+def microservice_game(
+    costs: CostMatrix,
+    state: Optional[SchedulerState] = None,
+    env: Optional[Environment] = None,
+    weights: PenaltyWeights = NO_PENALTIES,
+) -> NormalFormGame:
+    """The (registry × device) game for one microservice.
+
+    Without ``state``/``env`` (or with :data:`NO_PENALTIES`) this is
+    the plain negated-energy coordination game.
+    """
+    if weights != NO_PENALTIES:
+        if state is None or env is None:
+            raise ValueError("penalties require scheduler state and environment")
+        row_penalty, col_penalty = build_penalties(costs, state, env, weights)
+    else:
+        row_penalty = col_penalty = None
+    return energy_game(
+        costs.energy_j,
+        row_labels=costs.registries,
+        col_labels=costs.devices,
+        row_penalty=row_penalty,
+        col_penalty=col_penalty,
+    )
+
+
+def select_equilibrium(
+    game: NormalFormGame,
+    equilibria: List[Equilibrium],
+    costs: CostMatrix,
+) -> Tuple[int, int]:
+    """Pick the deployment cell from a set of equilibria.
+
+    Selection rule (deterministic):
+
+    1. among equilibria, minimise *expected energy* under the joint
+       mixed profile (the system objective);
+    2. resolve the winner to its modal pure profile;
+    3. if that cell is infeasible (possible for mixed equilibria over
+       penalty-distorted payoffs), fall back to the feasible cell with
+       the highest joint probability; as a last resort use the
+       feasible energy minimum.
+    """
+    if not equilibria:
+        return costs.best_cell()
+    finite_energy = np.where(costs.feasible, costs.energy_j, np.nan)
+
+    def expected_energy(eq: Equilibrium) -> float:
+        joint = np.outer(eq.row_strategy, eq.col_strategy)
+        masked = np.where(np.isnan(finite_energy), 0.0, finite_energy)
+        infeasible_mass = joint[~costs.feasible].sum()
+        # Mass on infeasible cells is penalised hard so such equilibria
+        # only win when nothing better exists.
+        return float((joint * masked).sum() + infeasible_mass * 1e12)
+
+    best = min(equilibria, key=expected_energy)
+    g, d = best.pure_profile()
+    if costs.feasible[g, d]:
+        return g, d
+    joint = np.outer(best.row_strategy, best.col_strategy)
+    joint[~costs.feasible] = -1.0
+    g, d = np.unravel_index(int(np.argmax(joint)), joint.shape)
+    if costs.feasible[g, d]:
+        return int(g), int(d)
+    return costs.best_cell()

@@ -1,0 +1,115 @@
+"""The DEEP pipeline of Figure 1: analysis → scheduling.
+
+The architecture couples three components ahead of deployment:
+
+1. **microservice requirement analysis** — can each ``req(m_i)`` be
+   satisfied, and by which devices;
+2. **dataflow dependency analysis** — the DAG's stages (the
+   synchronisation barriers) and per-edge payloads;
+3. **nash-game scheduling** — the :class:`~repro.core.scheduler.DeepScheduler`
+   sweep producing a :class:`~repro.core.placement.PlacementPlan`.
+
+:func:`plan_deployment` runs all three and returns a bundle the
+orchestrator can execute directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..model.application import Application
+from .environment import Environment
+from .placement import PlacementError
+from .scheduler import DeepScheduler, ScheduleResult, SchedulerBase
+
+
+@dataclass(frozen=True)
+class RequirementReport:
+    """Outcome of requirement analysis for one microservice."""
+
+    service: str
+    feasible_devices: List[str]
+    feasible_registries: Dict[str, List[str]]
+
+    @property
+    def satisfiable(self) -> bool:
+        return any(self.feasible_registries.get(d) for d in self.feasible_devices)
+
+
+@dataclass(frozen=True)
+class DependencyReport:
+    """Outcome of dataflow dependency analysis."""
+
+    order: List[str]
+    stages: List[List[str]]
+    barrier_count: int
+    total_dataflow_mb: float
+
+
+def analyze_requirements(app: Application, env: Environment) -> List[RequirementReport]:
+    """Figure 1's requirement-analysis box.
+
+    Raises :class:`PlacementError` when any microservice is
+    unsatisfiable — failing before scheduling, with a precise message,
+    is the component's job.
+    """
+    reports: List[RequirementReport] = []
+    for name in app.topological_order():
+        service = app.service(name)
+        devices = env.feasible_devices(service)
+        registries = {d: env.feasible_registries(service, d) for d in devices}
+        report = RequirementReport(
+            service=name, feasible_devices=devices, feasible_registries=registries
+        )
+        if not report.satisfiable:
+            raise PlacementError(
+                f"requirement analysis: {name!r} (cores="
+                f"{service.requirements.cores}, mem="
+                f"{service.requirements.memory_gb} GB, image="
+                f"{service.size_gb} GB) unsatisfiable on fleet "
+                f"{env.device_names()}"
+            )
+        reports.append(report)
+    return reports
+
+
+def analyze_dependencies(app: Application) -> DependencyReport:
+    """Figure 1's dependency-analysis box."""
+    stages = app.stages()
+    return DependencyReport(
+        order=app.topological_order(),
+        stages=stages,
+        barrier_count=max(0, len(stages) - 1),
+        total_dataflow_mb=app.total_dataflow_mb(),
+    )
+
+
+@dataclass
+class DeploymentBundle:
+    """Everything the orchestrator needs to roll out an application."""
+
+    app: Application
+    env: Environment
+    requirements: List[RequirementReport]
+    dependencies: DependencyReport
+    schedule: ScheduleResult
+
+
+def plan_deployment(
+    app: Application,
+    env: Environment,
+    scheduler: Optional[SchedulerBase] = None,
+) -> DeploymentBundle:
+    """Run the full DEEP pipeline (default scheduler: DEEP itself)."""
+    requirements = analyze_requirements(app, env)
+    dependencies = analyze_dependencies(app)
+    schedule = (scheduler or DeepScheduler()).schedule(app, env)
+    schedule.plan.validate_against(app)
+    return DeploymentBundle(
+        app=app,
+        env=env,
+        requirements=requirements,
+        dependencies=dependencies,
+        schedule=schedule,
+    )

@@ -1,0 +1,71 @@
+"""The paper's physical testbed (Sec. IV-A) as device specs.
+
+Two heterogeneous edge devices:
+
+* **medium** — 8-core Intel® Core™ i7-7700, 16 GB RAM, 64 GB storage,
+  Ubuntu 20.04, x86-64.  Energy measured with pyRAPL (package domain).
+* **small** — 4-core ARM Raspberry Pi 4, 8 GB RAM, 32 GB storage,
+  Debian 12.  Energy measured with a Ketotek wall-plug meter.
+
+Processing speeds are on an arbitrary MI/s scale; only their *ratio*
+matters to the model (it sets how much slower the Pi computes), and the
+calibration fits every other constant against Table II.  The default
+power models below are the calibration's starting point and are
+overridden by the fitted values in :mod:`repro.workloads.calibration`.
+"""
+
+from __future__ import annotations
+
+from ..model.device import Arch, Device, DeviceSpec, PowerModel
+
+#: Aggregate speed of the i7-7700 on the model's MI/s scale.
+MEDIUM_SPEED_MIPS = 36_000.0
+
+#: Aggregate speed of the Raspberry Pi 4.  The ratio ~3.75 reflects the
+#: clock (3.6 vs 1.5 GHz) and core-count gap of the testbed.
+SMALL_SPEED_MIPS = 9_600.0
+
+MEDIUM_SPEC = DeviceSpec(
+    name="medium",
+    arch=Arch.AMD64,
+    cores=8,
+    speed_mips=MEDIUM_SPEED_MIPS,
+    memory_gb=16.0,
+    storage_gb=64.0,
+)
+
+SMALL_SPEC = DeviceSpec(
+    name="small",
+    arch=Arch.ARM64,
+    cores=4,
+    speed_mips=SMALL_SPEED_MIPS,
+    memory_gb=8.0,
+    storage_gb=32.0,
+)
+
+#: pyRAPL measures the package domain, so the "static" floor is the
+#: package idle draw, not wall power.
+MEDIUM_POWER = PowerModel(
+    static_watts=2.0,
+    compute_watts=24.0,
+    pull_watts=1.0,
+    transfer_watts=0.8,
+)
+
+#: The Ketotek meter sees the whole board: higher static share.
+SMALL_POWER = PowerModel(
+    static_watts=2.7,
+    compute_watts=3.8,
+    pull_watts=0.6,
+    transfer_watts=0.5,
+)
+
+
+def medium_device(power: PowerModel = MEDIUM_POWER, region: str = "edge") -> Device:
+    """The Intel i7-7700 'medium' testbed device."""
+    return Device(spec=MEDIUM_SPEC, power=power, region=region)
+
+
+def small_device(power: PowerModel = SMALL_POWER, region: str = "edge") -> Device:
+    """The Raspberry Pi 4 'small' testbed device."""
+    return Device(spec=SMALL_SPEC, power=power, region=region)

@@ -1,0 +1,76 @@
+"""Storage accounting on an edge device.
+
+Tracks named reservations (container images, scratch data) against the
+device's ``STOR_j`` capacity.  The scheduler consults this ledger for
+the ``STOR`` part of the feasibility triple; the runtime updates it as
+images land and dataflows materialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..model.units import BYTES_PER_GB
+
+
+class StorageExhausted(RuntimeError):
+    """A reservation would exceed the device's storage capacity."""
+
+
+class StorageLedger:
+    """Byte-accurate named reservations with a hard capacity."""
+
+    def __init__(self, capacity_gb: float, device: str = "") -> None:
+        if capacity_gb <= 0:
+            raise ValueError(f"capacity_gb must be > 0, got {capacity_gb}")
+        self.device = device
+        self.capacity_bytes = int(capacity_gb * BYTES_PER_GB)
+        self._entries: Dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._entries.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def used_gb(self) -> float:
+        return self.used_bytes / BYTES_PER_GB
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def fits(self, size_bytes: int) -> bool:
+        return size_bytes <= self.free_bytes
+
+    def reserve(self, name: str, size_bytes: int) -> None:
+        """Reserve ``size_bytes`` under ``name``.
+
+        Re-reserving an existing name adjusts the reservation (the new
+        size replaces the old one) — matching how an image upgrade
+        replaces its predecessor on disk.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative reservation: {size_bytes}")
+        current = self._entries.get(name, 0)
+        if self.used_bytes - current + size_bytes > self.capacity_bytes:
+            raise StorageExhausted(
+                f"{self.device or 'device'}: reserving {size_bytes} B for "
+                f"{name!r} exceeds capacity ({self.free_bytes + current} B free)"
+            )
+        self._entries[name] = size_bytes
+
+    def release(self, name: str) -> int:
+        """Free the reservation; returns the bytes released."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise KeyError(
+                f"{self.device or 'device'}: no reservation named {name!r}"
+            ) from None
+
+    def entries(self) -> List[Tuple[str, int]]:
+        return list(self._entries.items())

@@ -1,0 +1,16 @@
+"""Experiments: one module per table/figure of the paper + ablations."""
+
+from . import ablations, cloud, figure3a, figure3b, table2, table3
+from .runner import ExperimentResult, deploy_and_run, make_cluster
+
+__all__ = [
+    "ExperimentResult",
+    "ablations",
+    "cloud",
+    "deploy_and_run",
+    "figure3a",
+    "figure3b",
+    "make_cluster",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,83 @@
+"""Experiment E4: regenerate Figure 3b (three deployment methods).
+
+Figure 3b compares total energy of each application deployed three
+ways: DEEP's hybrid, exclusively from the regional registry, and
+exclusively from Docker Hub.  Paper headline numbers: DEEP reduces
+video-processing energy by ≈0.2 % (≈14 J) against both alternatives and
+text-processing energy by ≈0.34 % (≈18 J) against exclusively-hub.
+
+The acceptance checks are the figure's *shape*: DEEP never loses, the
+savings are sub-percent, and the regional registry is competitive with
+the hub.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.baselines import FixedRegistryScheduler
+from ..core.scheduler import DeepScheduler, SchedulerBase
+from ..model.units import j_to_kj
+from ..orchestrator.controller import ExecutionMode
+from ..workloads.apps import both_applications
+from ..workloads.table2 import TEXT, VIDEO
+from ..workloads.testbed import HUB_NAME, REGIONAL_NAME, Testbed, build_testbed
+from .runner import ExperimentResult, deploy_and_run
+
+#: Paper-claimed savings of DEEP (application → (vs method, joules, %)).
+PAPER_CLAIMS = {
+    VIDEO: ("both", 14.0, 0.2),
+    TEXT: (HUB_NAME, 18.0, 0.34),
+}
+
+
+def methods() -> List[SchedulerBase]:
+    """The three deployment methods of Fig. 3b."""
+    return [
+        DeepScheduler(),
+        FixedRegistryScheduler(REGIONAL_NAME),
+        FixedRegistryScheduler(HUB_NAME),
+    ]
+
+
+def run(testbed: Optional[Testbed] = None) -> ExperimentResult:
+    """Total energy per (application, method), measured end to end."""
+    tb = testbed or build_testbed()
+    result = ExperimentResult(
+        experiment_id="fig3b",
+        title="Figure 3b: energy of three deployment methods [kJ]",
+        columns=["application", "method", "energy_kj", "delta_vs_deep_j"],
+    )
+    for app in both_applications(tb.calibration):
+        energies: Dict[str, float] = {}
+        for scheduler in methods():
+            schedule = scheduler.schedule(app, tb.env)
+            report = deploy_and_run(
+                tb, app, schedule.plan, mode=ExecutionMode.SEQUENTIAL
+            )
+            energies[scheduler.name] = report.total_energy_j
+        deep_j = energies["deep"]
+        for method, energy_j in energies.items():
+            result.add_row(
+                application=app.name,
+                method=method,
+                energy_kj=j_to_kj(energy_j),
+                delta_vs_deep_j=energy_j - deep_j,
+            )
+        hub_j = energies[f"exclusively-{HUB_NAME}"]
+        regional_j = energies[f"exclusively-{REGIONAL_NAME}"]
+        best_other = min(hub_j, regional_j)
+        result.note(
+            f"{app.name}: DEEP saves {hub_j - deep_j:+.1f} J "
+            f"({100 * (hub_j - deep_j) / hub_j:+.2f}%) vs hub, "
+            f"{regional_j - deep_j:+.1f} J "
+            f"({100 * (regional_j - deep_j) / regional_j:+.2f}%) vs regional; "
+            f"DEEP {'<=' if deep_j <= best_other + 1e-6 else '>'} best "
+            f"exclusive method."
+        )
+    vs_method, joules, percent = PAPER_CLAIMS[TEXT]
+    result.note(
+        f"paper claims: video ≈14 J (0.2%) saved; text ≈{joules:.0f} J "
+        f"({percent}%) saved vs exclusively Docker Hub."
+    )
+    return result

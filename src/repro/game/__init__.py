@@ -1,0 +1,71 @@
+"""Game-theory substrate: the Nashpy replacement used by DEEP.
+
+Solvers
+-------
+* :func:`pure_equilibria` — fast pure-strategy search (DEEP's fast path)
+* :func:`support_enumeration` — exhaustive mixed equilibria (reference)
+* :func:`lemke_howson` / :func:`lemke_howson_all` — complementary pivoting
+* :func:`vertex_enumeration` — independent cross-check
+* :func:`fictitious_play` — learning dynamics (ablation)
+* :func:`solve_zero_sum` — exact LP solution for zero-sum games
+"""
+
+from .dilemma import (
+    coordination_game,
+    energy_game,
+    matching_pennies,
+    prisoners_dilemma,
+)
+from .fictitious_play import FictitiousPlayResult, exploitability, fictitious_play
+from .lemke_howson import DegenerateGameError, lemke_howson, lemke_howson_all
+from .normal_form import (
+    Equilibrium,
+    NormalFormGame,
+    as_strategy,
+    dedupe_equilibria,
+    support,
+)
+from .pure import (
+    best_pure_outcome,
+    iterated_elimination,
+    minimax_pure,
+    pure_equilibria,
+    strictly_dominated_cols,
+    strictly_dominated_rows,
+)
+from .replicator import ReplicatorResult, replicator_dynamics
+from .support_enumeration import all_equilibria, support_enumeration
+from .vertex_enumeration import polytope_vertices, vertex_enumeration
+from .zero_sum import ZeroSumSolution, solve_zero_sum
+
+__all__ = [
+    "DegenerateGameError",
+    "Equilibrium",
+    "FictitiousPlayResult",
+    "NormalFormGame",
+    "ZeroSumSolution",
+    "all_equilibria",
+    "as_strategy",
+    "best_pure_outcome",
+    "coordination_game",
+    "dedupe_equilibria",
+    "energy_game",
+    "exploitability",
+    "fictitious_play",
+    "iterated_elimination",
+    "lemke_howson",
+    "lemke_howson_all",
+    "matching_pennies",
+    "minimax_pure",
+    "polytope_vertices",
+    "prisoners_dilemma",
+    "pure_equilibria",
+    "ReplicatorResult",
+    "replicator_dynamics",
+    "solve_zero_sum",
+    "strictly_dominated_cols",
+    "strictly_dominated_rows",
+    "support",
+    "support_enumeration",
+    "vertex_enumeration",
+]

@@ -1,0 +1,71 @@
+"""Zero-sum games solved exactly by linear programming.
+
+The row player's maximin strategy of the game with payoff matrix ``A``
+solves::
+
+    max v   s.t.  Aᵀx ≥ v·1,   Σx = 1,   x ≥ 0
+
+which we hand to ``scipy.optimize.linprog`` after the standard shift to
+positive payoffs.  Used both as a solver in its own right and as an
+oracle in the property tests (for zero-sum games, every Nash
+equilibrium profile earns exactly the game value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .normal_form import Equilibrium, NormalFormGame
+
+
+@dataclass(frozen=True)
+class ZeroSumSolution:
+    """Maximin strategies and the value of a zero-sum game."""
+
+    row_strategy: np.ndarray
+    col_strategy: np.ndarray
+    value: float
+
+    def equilibrium(self, game: NormalFormGame) -> Equilibrium:
+        return Equilibrium.of(game, self.row_strategy, self.col_strategy)
+
+
+def _maximin(payoff: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Row maximin mixture for payoff matrix ``payoff`` via LP."""
+    m, n = payoff.shape
+    shift = 0.0
+    if payoff.min() <= 0:
+        shift = 1.0 - payoff.min()
+    shifted = payoff + shift  # strictly positive -> value > 0
+    # Classic transformation: minimise Σu s.t. shiftedᵀ u >= 1, u >= 0;
+    # then x = u / Σu and value = 1 / Σu.
+    result = linprog(
+        c=np.ones(m),
+        A_ub=-shifted.T,
+        b_ub=-np.ones(n),
+        bounds=[(0, None)] * m,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - LP on bounded polytope
+        raise RuntimeError(f"zero-sum LP failed: {result.message}")
+    u = result.x
+    total = u.sum()
+    return u / total, 1.0 / total - shift
+
+
+def solve_zero_sum(game: NormalFormGame) -> ZeroSumSolution:
+    """Exact solution of a zero-sum game (``B = -A`` required)."""
+    if not game.is_zero_sum:
+        raise ValueError("solve_zero_sum requires B == -A")
+    x, value = _maximin(game.A)
+    # The column player solves the transposed game with payoffs -A^T.
+    y, neg_value = _maximin(-game.A.T)
+    if not np.isclose(value, -neg_value, atol=1e-6):
+        raise RuntimeError(
+            f"LP duality mismatch: row value {value} vs col {-neg_value}"
+        )
+    return ZeroSumSolution(row_strategy=x, col_strategy=y, value=value)

@@ -1,0 +1,169 @@
+"""Network model of Sec. III-B/C: bandwidth-only channels.
+
+The paper models the network purely by bandwidth (RTT is explicitly
+neglected).  Two kinds of channels exist:
+
+* device ↔ device channels ``h_kj = BW_kj`` used by dataflow
+  transmissions between upstage and downstage microservices, and
+* registry → device channels ``BW_gj`` used by image deployments.
+
+Transfers between microservices co-located on the same device never
+touch the network and take zero time (loopback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .units import require_non_negative, require_positive, transfer_time_s
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A point-to-point channel with a bandwidth and optional RTT.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        Channel bandwidth in Mbit/s.
+    rtt_s:
+        Round-trip time in seconds.  The paper neglects RTT; it is kept
+        as an optional extension knob (default 0) and charged once per
+        transfer when set.
+    """
+
+    bandwidth_mbps: float
+    rtt_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.bandwidth_mbps, "bandwidth_mbps")
+        require_non_negative(self.rtt_s, "rtt_s")
+
+    def transfer_time_s(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` MB across this channel."""
+        if size_mb == 0:
+            return 0.0
+        return self.rtt_s + transfer_time_s(size_mb, self.bandwidth_mbps)
+
+
+#: Reserved channel name for external data ingress (camera feeds, S3
+#: datasets).  Wired per device like a registry channel.
+INGRESS = "__ingress__"
+
+
+class NetworkModel:
+    """Bandwidth matrix over devices and registries.
+
+    Channels are stored directionally; :meth:`connect_devices` installs
+    both directions at once (the common symmetric case).  Lookups for
+    missing channels raise ``KeyError`` — a missing channel is a
+    topology bug, not a zero-bandwidth link.
+    """
+
+    def __init__(self) -> None:
+        self._device_channels: Dict[Tuple[str, str], Channel] = {}
+        self._registry_channels: Dict[Tuple[str, str], Channel] = {}
+
+    # ------------------------------------------------------------------
+    # topology construction
+    # ------------------------------------------------------------------
+    def connect_devices(
+        self,
+        a: str,
+        b: str,
+        bandwidth_mbps: float,
+        rtt_s: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Install a device↔device channel (both directions by default)."""
+        if a == b:
+            raise ValueError(f"loopback channel on {a!r} is implicit")
+        channel = Channel(bandwidth_mbps, rtt_s)
+        self._device_channels[(a, b)] = channel
+        if symmetric:
+            self._device_channels[(b, a)] = channel
+
+    def connect_registry(
+        self,
+        registry: str,
+        device: str,
+        bandwidth_mbps: float,
+        rtt_s: float = 0.0,
+    ) -> None:
+        """Install a registry→device channel (``BW_gj``)."""
+        self._registry_channels[(registry, device)] = Channel(bandwidth_mbps, rtt_s)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def device_channel(self, src: str, dst: str) -> Optional[Channel]:
+        """Channel from ``src`` to ``dst``; ``None`` for loopback."""
+        if src == dst:
+            return None
+        try:
+            return self._device_channels[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no channel between devices {src!r} and {dst!r}") from None
+
+    def registry_channel(self, registry: str, device: str) -> Channel:
+        """Channel from ``registry`` to ``device``."""
+        try:
+            return self._registry_channels[(registry, device)]
+        except KeyError:
+            raise KeyError(
+                f"no channel from registry {registry!r} to device {device!r}"
+            ) from None
+
+    def has_registry_channel(self, registry: str, device: str) -> bool:
+        return (registry, device) in self._registry_channels
+
+    def device_bandwidth_mbps(self, src: str, dst: str) -> float:
+        """``BW_kj``; ``inf`` for loopback."""
+        channel = self.device_channel(src, dst)
+        return float("inf") if channel is None else channel.bandwidth_mbps
+
+    def registry_bandwidth_mbps(self, registry: str, device: str) -> float:
+        """``BW_gj``."""
+        return self.registry_channel(registry, device).bandwidth_mbps
+
+    # ------------------------------------------------------------------
+    # transfer-time queries (the paper's Size/BW terms)
+    # ------------------------------------------------------------------
+    def dataflow_time_s(self, src: str, dst: str, size_mb: float) -> float:
+        """Transmission time ``Tc`` for a dataflow of ``size_mb`` MB."""
+        channel = self.device_channel(src, dst)
+        if channel is None:  # co-located: no network involved
+            return 0.0
+        return channel.transfer_time_s(size_mb)
+
+    def deployment_time_s(self, registry: str, device: str, size_gb: float) -> float:
+        """Deployment time ``Td`` for an image of ``size_gb`` GB."""
+        return self.registry_channel(registry, device).transfer_time_s(
+            size_gb * 1000.0
+        )
+
+    # ------------------------------------------------------------------
+    # external ingress (camera feeds, S3 datasets)
+    # ------------------------------------------------------------------
+    def connect_ingress(
+        self, device: str, bandwidth_mbps: float, rtt_s: float = 0.0
+    ) -> None:
+        """Install the external-ingress channel for ``device``."""
+        self.connect_registry(INGRESS, device, bandwidth_mbps, rtt_s)
+
+    def ingress_time_s(self, device: str, size_mb: float) -> float:
+        """Transfer time of ``size_mb`` of external input into ``device``."""
+        if size_mb == 0:
+            return 0.0
+        return self.registry_channel(INGRESS, device).transfer_time_s(size_mb)
+
+    def registries_reaching(self, device: str) -> list:
+        """Names of registries with a channel to ``device``."""
+        return [r for (r, d) in self._registry_channels if d == device]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkModel(device_channels={len(self._device_channels)}, "
+            f"registry_channels={len(self._registry_channels)})"
+        )

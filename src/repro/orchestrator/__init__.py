@@ -1,0 +1,28 @@
+"""Kubernetes-stand-in orchestration: cluster, kubelets, pod lifecycle,
+stage-barrier rollout, and execution monitoring."""
+
+from .cluster import Cluster, ClusterError
+from .controller import (
+    ApplicationController,
+    DeviceEnergyReading,
+    ExecutionMode,
+    ExecutionReport,
+)
+from .kubelet import Kubelet
+from .monitoring import Event, Monitor
+from .objects import ImagePullPolicy, Pod, PodPhase
+
+__all__ = [
+    "ApplicationController",
+    "Cluster",
+    "ClusterError",
+    "DeviceEnergyReading",
+    "Event",
+    "ExecutionMode",
+    "ExecutionReport",
+    "ImagePullPolicy",
+    "Kubelet",
+    "Monitor",
+    "Pod",
+    "PodPhase",
+]

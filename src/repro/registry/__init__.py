@@ -1,0 +1,65 @@
+"""Container-registry substrate: Docker Hub and MinIO-backed regional
+registries, content-addressed blobs, manifests, pulls and caching."""
+
+from .base import ImageReference, Registry, RegistryError, mirror_image
+from .blobstore import BlobNotFound, BlobRecord, BlobStore
+from .cache import CacheFull, EvictionRecord, ImageCache
+from .client import PullPolicy, PullResult, RegistryClient
+from .digest import digest_bytes, digest_text, is_digest, short_digest
+from .hub import DockerHub, PointOfPresence, PullRateLimiter, RateLimitExceeded
+from .images import OFFICIAL_BASES, BaseImage, build_image, split_sizes, synthetic_blob
+from .manifest import ImageManifest, LayerDescriptor, ManifestList
+from .minio import (
+    BucketAlreadyExists,
+    MinioError,
+    MinioStore,
+    NoSuchBucket,
+    NoSuchKey,
+    ObjectInfo,
+    QuotaExceeded,
+)
+from .regional import RegionalRegistry
+from .repository import ManifestNotFound, Repository, RepositoryIndex
+
+__all__ = [
+    "BaseImage",
+    "BlobNotFound",
+    "BlobRecord",
+    "BlobStore",
+    "BucketAlreadyExists",
+    "CacheFull",
+    "DockerHub",
+    "EvictionRecord",
+    "ImageCache",
+    "ImageManifest",
+    "ImageReference",
+    "LayerDescriptor",
+    "ManifestList",
+    "ManifestNotFound",
+    "MinioError",
+    "MinioStore",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "ObjectInfo",
+    "OFFICIAL_BASES",
+    "PointOfPresence",
+    "PullPolicy",
+    "PullRateLimiter",
+    "PullResult",
+    "QuotaExceeded",
+    "RateLimitExceeded",
+    "RegionalRegistry",
+    "Registry",
+    "RegistryClient",
+    "RegistryError",
+    "Repository",
+    "RepositoryIndex",
+    "build_image",
+    "digest_bytes",
+    "digest_text",
+    "is_digest",
+    "mirror_image",
+    "short_digest",
+    "split_sizes",
+    "synthetic_blob",
+]

@@ -1,0 +1,164 @@
+"""Device-local image/layer cache with LRU eviction.
+
+The paper's deployment-time term charges ``Size_mi / BW_gj`` only for
+images "not already existing on a device".  :class:`ImageCache` tracks
+what exists on a device:
+
+* at **image** granularity (paper-faithful whole-image mode): a pulled
+  image either is or is not fully present, and
+* at **layer** granularity (the dedup extension, ablation A2): layers
+  shared between images — e.g. the common ``python:3.9-slim`` base of
+  the HA/LA variants — are transferred once.
+
+Capacity is bounded by the device's storage; inserting past capacity
+evicts least-recently-used entries, and an image is only *complete*
+while every one of its layers survives.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..model.units import BYTES_PER_GB
+from .manifest import ImageManifest
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One LRU eviction (digest and the bytes it freed)."""
+
+    digest: str
+    size_bytes: int
+
+
+class CacheFull(RuntimeError):
+    """Raised when a single item is larger than the whole cache."""
+
+
+class ImageCache:
+    """LRU cache of content-addressed entries on one device.
+
+    Entries are layer digests plus manifest digests (a zero-byte marker
+    recording that the full image was assembled).  Completeness of an
+    image is always re-derived from layer presence, so layer evictions
+    can never leave a stale "image present" claim behind.
+    """
+
+    def __init__(self, capacity_gb: float, device: str = "") -> None:
+        if capacity_gb <= 0:
+            raise ValueError(f"capacity_gb must be > 0, got {capacity_gb}")
+        self.device = device
+        self.capacity_bytes = int(capacity_gb * BYTES_PER_GB)
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self._used = 0
+        self._evictions: List[EvictionRecord] = []
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: object) -> bool:
+        return digest in self._entries
+
+    @property
+    def evictions(self) -> List[EvictionRecord]:
+        """All evictions so far, oldest first."""
+        return list(self._evictions)
+
+    # ------------------------------------------------------------------
+    # entry operations
+    # ------------------------------------------------------------------
+    def touch(self, digest: str) -> bool:
+        """Mark ``digest`` most-recently-used; False if absent."""
+        if digest not in self._entries:
+            return False
+        self._entries.move_to_end(digest)
+        return True
+
+    def add(self, digest: str, size_bytes: int) -> List[EvictionRecord]:
+        """Insert (or refresh) an entry, evicting LRU entries as needed.
+
+        Returns the evictions performed by this insertion.  Raises
+        :class:`CacheFull` if the item alone exceeds capacity.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative entry size: {size_bytes}")
+        if size_bytes > self.capacity_bytes:
+            raise CacheFull(
+                f"entry {digest} ({size_bytes} B) exceeds cache capacity "
+                f"{self.capacity_bytes} B on {self.device or 'device'}"
+            )
+        if digest in self._entries:
+            self._used -= self._entries.pop(digest)
+        evicted: List[EvictionRecord] = []
+        while self._used + size_bytes > self.capacity_bytes:
+            victim, victim_size = self._entries.popitem(last=False)
+            self._used -= victim_size
+            record = EvictionRecord(victim, victim_size)
+            evicted.append(record)
+            self._evictions.append(record)
+        self._entries[digest] = size_bytes
+        self._used += size_bytes
+        return evicted
+
+    def remove(self, digest: str) -> bool:
+        """Explicitly drop an entry; True if it was present."""
+        size = self._entries.pop(digest, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # image-level queries
+    # ------------------------------------------------------------------
+    def has_image(self, manifest: ImageManifest) -> bool:
+        """True iff *every* layer of ``manifest`` is still cached."""
+        return all(d in self._entries for d in manifest.layer_digests())
+
+    def missing_layers(self, manifest: ImageManifest) -> List[str]:
+        """Layer digests that a pull of ``manifest`` must transfer."""
+        return [d for d in manifest.layer_digests() if d not in self._entries]
+
+    def admit_image(self, manifest: ImageManifest) -> List[EvictionRecord]:
+        """Insert all layers of ``manifest`` (after a successful pull).
+
+        Layers are admitted in manifest order; already-present layers
+        are refreshed.  The returned evictions never include layers of
+        the image being admitted (an image cannot evict itself —
+        guaranteed because admission order refreshes recency).
+        """
+        needed = sum(
+            layer.size_bytes
+            for layer in manifest.layers
+            if layer.digest not in self._entries
+        )
+        if needed > self.capacity_bytes:
+            raise CacheFull(
+                f"image {manifest.digest} needs {needed} new bytes; cache "
+                f"capacity is {self.capacity_bytes} B"
+            )
+        evicted: List[EvictionRecord] = []
+        for layer in manifest.layers:
+            evicted.extend(self.add(layer.digest, layer.size_bytes))
+        return evicted
+
+    def entries(self) -> List[Tuple[str, int]]:
+        """(digest, size) pairs from least- to most-recently used."""
+        return list(self._entries.items())

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation kernel used by the testbed."""
+
+from .engine import AllOf, Interrupt, Process, Simulator
+from .events import Event, EventQueue, Timeout
+from .resources import Resource
+from .rng import DEFAULT_SEED, RngRegistry, default_registry
+
+__all__ = [
+    "AllOf",
+    "DEFAULT_SEED",
+    "Event",
+    "EventQueue",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "Timeout",
+    "default_registry",
+]

@@ -1,0 +1,180 @@
+"""Generator-based process engine on top of :mod:`repro.sim.events`.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects; the engine resumes it with the event's value when the event
+fires.  ``AllOf`` composes events into a barrier — the synchronisation
+primitive used by the orchestrator to model the paper's stage barriers.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker("a", 2.0))
+>>> _ = sim.process(worker("b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from .events import Event, EventQueue, Timeout
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running process; itself an event that fires on termination.
+
+    The event's value is the generator's return value; uncaught
+    exceptions propagate to :meth:`Simulator.run` (there is no silent
+    failure mode — a crashed process is a crashed simulation).
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: EventQueue, generator: ProcessGenerator) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        bootstrap = Event(env)
+        bootstrap.succeed(None)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        poke = Event(self.env)
+        poke._value = Interrupt(cause)
+        poke._ok = False
+        poke._triggered = True
+        self.env.schedule(poke, 0.0)
+        poke.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:  # already finished (e.g. interrupted then done)
+            return
+        if self._target is not None and event is not self._target:
+            # A stale wake-up (interrupt raced with the awaited event):
+            # only deliver interrupts; ignore anything else.
+            if not isinstance(event.value, Interrupt):
+                return
+        self._target = None
+        try:
+            if event.ok:
+                next_event = self._generator.send(event.value)
+            else:
+                next_event = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(next_event, Event):
+            raise TypeError(
+                f"process yielded {next_event!r}; processes must yield Event"
+            )
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Barrier event: fires once every child event has fired.
+
+    The value is the list of child values in construction order.  If
+    any child fails, the barrier fails with that child's exception.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, env: EventQueue, events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children: List[Event] = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class Simulator:
+    """Facade bundling the event queue with process management."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        return self._queue.now
+
+    def event(self) -> Event:
+        """A fresh untriggered event (manual trigger)."""
+        return Event(self._queue)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self._queue, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a process; returns its completion event."""
+        return Process(self._queue, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier over ``events``."""
+        return AllOf(self._queue, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time when the run stopped.  Failure
+        events that nothing waited on re-raise here so that errors
+        cannot vanish.
+        """
+        while not self._queue.empty():
+            if until is not None and self._queue.peek_time() > until:
+                self._now_to(until)
+                return self._queue.now
+            event = self._queue.step()
+            if not event.ok and event.callbacks is None and not _was_consumed(event):
+                raise event.value
+        if until is not None and until > self._queue.now:
+            self._now_to(until)
+        return self._queue.now
+
+    def _now_to(self, time: float) -> None:
+        self._queue._now = max(self._queue._now, time)
+
+
+def _was_consumed(event: Event) -> bool:
+    """True when a failed event was delivered to at least one waiter."""
+    # Process._resume marks consumption by re-raising inside the
+    # generator; if the event is a Process itself, its failure is its
+    # value and run() should re-raise unless someone waited on it.
+    return bool(getattr(event, "_consumed", False))

@@ -1,0 +1,141 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is a small, deterministic, single-threaded DES in the style
+of SimPy: a priority queue of timestamped events, and generator-based
+processes that suspend on events.  Determinism matters — two runs with
+the same seed must produce identical traces — so ties in time are broken
+by a monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Events move through three states: *pending* → *triggered*
+    (scheduled with a value) → *processed* (callbacks ran).  Triggering
+    twice is an error; waiting on a processed event fires immediately.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "EventQueue") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure (exception value)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise RuntimeError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs
+        immediately (same tick), which lets late waiters join safely.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for fn in callbacks or ():
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay (auto-triggered)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "EventQueue", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env.schedule(self, delay)
+
+
+class EventQueue:
+    """The simulation clock plus the time-ordered event heap."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to process at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def peek_time(self) -> float:
+        """Time of the next event; ``inf`` when the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> Event:
+        """Advance the clock to the next event and process it."""
+        if not self._heap:
+            raise RuntimeError("step() on an empty event queue")
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        event._process()
+        return event

@@ -1,0 +1,125 @@
+"""The paper's two case-study applications (Fig. 2, Table I).
+
+Both DAGs have six microservices and the fork-join shape of Fig. 2:
+
+* **video processing** — ``transcode → frame → {ha-train, la-train}``,
+  each train feeding its inference stage
+  (``ha-train → ha-infer``, ``la-train → la-infer``);
+* **text processing** — ``retrieve → decompress → {ha-train,
+  la-train}``, each train feeding its scoring stage.
+
+Microservice names are the globally unique logical image names
+(``vp-*`` / ``tp-*``), matching Table I's repositories and the
+calibration keys.  Image sizes, processing loads, input payloads and
+warm fractions come from the calibration; inter-service dataflow sizes
+equal the downstream service's calibrated input payload (its benchmark
+input *is* its upstream artefact).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..model.application import (
+    Application,
+    Dataflow,
+    Microservice,
+    ResourceRequirements,
+)
+from .calibration import Calibration, calibrate
+from .table2 import TEXT, VIDEO, logical_image
+
+#: (cores, memory_gb, scratch_gb) per microservice role.  Trains are the
+#: heavy stages; everything fits both testbed devices (4 cores / 8 GB).
+_ROLE_REQUIREMENTS: Dict[str, Tuple[int, float, float]] = {
+    "transcode": (2, 1.0, 0.5),
+    "frame": (2, 1.0, 0.5),
+    "retrieve": (1, 0.5, 1.0),
+    "decompress": (1, 1.0, 1.0),
+    "ha-train": (4, 4.0, 1.0),
+    "la-train": (4, 2.0, 1.0),
+    "ha-infer": (2, 2.0, 0.5),
+    "la-infer": (2, 1.0, 0.5),
+    "ha-score": (2, 2.0, 0.5),
+    "la-score": (2, 1.0, 0.5),
+}
+
+#: DAG edges per application, in (upstage role, downstage role) form.
+_EDGES: Dict[str, List[Tuple[str, str]]] = {
+    VIDEO: [
+        ("transcode", "frame"),
+        ("frame", "ha-train"),
+        ("frame", "la-train"),
+        ("ha-train", "ha-infer"),
+        ("la-train", "la-infer"),
+    ],
+    TEXT: [
+        ("retrieve", "decompress"),
+        ("decompress", "ha-train"),
+        ("decompress", "la-train"),
+        ("ha-train", "ha-score"),
+        ("la-train", "la-score"),
+    ],
+}
+
+_ROLES: Dict[str, List[str]] = {
+    VIDEO: ["transcode", "frame", "ha-train", "la-train", "ha-infer", "la-infer"],
+    TEXT: ["retrieve", "decompress", "ha-train", "la-train", "ha-score", "la-score"],
+}
+
+#: Roles whose input arrives from outside the DAG (Fig. 2's sources).
+_SOURCES: Dict[str, str] = {VIDEO: "transcode", TEXT: "retrieve"}
+
+
+def _microservice(cal: Calibration, application: str, role: str) -> Microservice:
+    svc = cal.service(application, role)
+    cores, memory, scratch = _ROLE_REQUIREMENTS[role]
+    is_source = _SOURCES[application] == role
+    return Microservice(
+        name=svc.name,
+        image=svc.name,
+        size_gb=svc.size_gb,
+        requirements=ResourceRequirements(
+            cores=cores,
+            cpu_mi=svc.cpu_mi,
+            memory_gb=memory,
+            storage_gb=scratch,
+        ),
+        # Sources stream their input from outside (camera / S3); inner
+        # services receive theirs as upstream dataflows instead.
+        ingress_mb=svc.input_mb if is_source else 0.0,
+        warm_fraction=svc.warm_fraction,
+    )
+
+
+def _build(cal: Calibration, application: str) -> Application:
+    services = [_microservice(cal, application, role) for role in _ROLES[application]]
+    flows = []
+    for src_role, dst_role in _EDGES[application]:
+        dst = cal.service(application, dst_role)
+        flows.append(
+            Dataflow(
+                src=logical_image(application, src_role),
+                dst=dst.name,
+                # The downstream's benchmark input is its upstream
+                # artefact: reuse the calibrated payload as edge size.
+                size_mb=dst.input_mb,
+            )
+        )
+    return Application(application, services, flows)
+
+
+def video_processing(cal: Optional[Calibration] = None) -> Application:
+    """Figure 2a's video-processing DAG, calibrated to Table II."""
+    return _build(cal or calibrate(), VIDEO)
+
+
+def text_processing(cal: Optional[Calibration] = None) -> Application:
+    """Figure 2b's text-processing DAG, calibrated to Table II."""
+    return _build(cal or calibrate(), TEXT)
+
+
+def both_applications(cal: Optional[Calibration] = None) -> List[Application]:
+    """Both case studies sharing one calibration."""
+    shared = cal or calibrate()
+    return [video_processing(shared), text_processing(shared)]

@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+The calibration and testbed are expensive enough (image publishing,
+LP fits) to share per session.  They are safe to share: schedulers and
+experiments never mutate the testbed — all mutable execution state
+(caches, traces, pods) lives in per-test clusters.
+"""
+
+import pytest
+
+from repro.workloads.apps import text_processing, video_processing
+from repro.workloads.calibration import Calibration, calibrate
+from repro.workloads.testbed import Testbed, build_testbed
+
+
+@pytest.fixture(scope="session")
+def cal() -> Calibration:
+    return calibrate()
+
+
+@pytest.fixture(scope="session")
+def testbed(cal) -> Testbed:
+    return build_testbed(cal)
+
+
+@pytest.fixture(scope="session")
+def video_app(cal):
+    return video_processing(cal)
+
+
+@pytest.fixture(scope="session")
+def text_app(cal):
+    return text_processing(cal)
+
+
+@pytest.fixture
+def env(testbed):
+    return testbed.env

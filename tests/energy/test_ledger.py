@@ -1,0 +1,93 @@
+"""EnergyLedger aggregation over execution records."""
+
+import pytest
+
+from repro.devices.executor import ExecutionRecord
+from repro.energy.accounting import EnergyLedger, ServiceEnergy
+from repro.model.metrics import EnergyBreakdown, PhaseTimes
+from repro.registry.base import ImageReference
+from repro.registry.client import PullResult
+from repro.registry.images import build_image
+from repro.model.device import Arch
+
+
+def record(service, device, registry, start, deploy=10.0, compute=5.0):
+    mlist, _ = build_image(service, 0.1)
+    manifest = mlist.for_arch(Arch.AMD64)
+    times = PhaseTimes(deploy, 2.0, compute)
+    energy = EnergyBreakdown(
+        pull_j=deploy * 1.0, transfer_j=2.0 * 0.5,
+        compute_j=compute * 10.0, static_j=times.completion_s * 1.0,
+    )
+    return ExecutionRecord(
+        service=service,
+        device=device,
+        registry=registry,
+        start_s=start,
+        times=times,
+        energy=energy,
+        pull=PullResult(
+            reference=ImageReference(service),
+            registry=registry,
+            manifest=manifest,
+            bytes_total=manifest.total_layer_bytes,
+            bytes_transferred=manifest.total_layer_bytes,
+            layers_total=len(manifest.layers),
+            layers_transferred=len(manifest.layers),
+        ),
+        intensity=1.0,
+    )
+
+
+@pytest.fixture
+def ledger():
+    l = EnergyLedger()
+    l.add(record("a", "medium", "hub", 0.0))
+    l.add(record("b", "small", "regional", 20.0))
+    l.add(record("c", "medium", "regional", 40.0, compute=20.0))
+    return l
+
+
+class TestLedger:
+    def test_total_is_sum(self, ledger):
+        assert ledger.total_j() == pytest.approx(
+            sum(r.energy_j for r in ledger.records)
+        )
+        assert ledger.total_kj() == pytest.approx(ledger.total_j() / 1000)
+
+    def test_active_plus_static(self, ledger):
+        assert ledger.total_j() == pytest.approx(
+            ledger.active_j() + ledger.static_j()
+        )
+
+    def test_by_device(self, ledger):
+        by_device = ledger.by_device()
+        assert set(by_device) == {"medium", "small"}
+        assert sum(by_device.values()) == pytest.approx(ledger.total_j())
+
+    def test_by_registry(self, ledger):
+        by_registry = ledger.by_registry()
+        assert set(by_registry) == {"hub", "regional"}
+        assert sum(by_registry.values()) == pytest.approx(ledger.total_j())
+
+    def test_per_service_lines(self, ledger):
+        lines = ledger.per_service()
+        assert [l.service for l in lines] == ["a", "b", "c"]
+        assert all(isinstance(l, ServiceEnergy) for l in lines)
+        assert lines[0].total_kj == pytest.approx(lines[0].total_j / 1000)
+
+    def test_completion_vs_makespan(self, ledger):
+        # Records at t=0 and t=20 last 17 s; the one at t=40 lasts 32 s.
+        assert ledger.completion_s() == pytest.approx(17.0 + 17.0 + 32.0)
+        assert ledger.makespan_s() == pytest.approx(72.0)
+
+    def test_empty_ledger(self):
+        empty = EnergyLedger()
+        assert empty.total_j() == 0.0
+        assert empty.makespan_s() == 0.0
+        assert len(empty) == 0
+
+    def test_extend(self):
+        l = EnergyLedger()
+        l.extend([record("a", "m", "h", 0.0), record("b", "m", "h", 1.0)])
+        assert len(l) == 2

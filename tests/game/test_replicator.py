@@ -1,0 +1,78 @@
+"""Replicator dynamics: fixed points vs the exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.game import (
+    NormalFormGame,
+    coordination_game,
+    matching_pennies,
+    prisoners_dilemma,
+    replicator_dynamics,
+)
+
+
+class TestReplicator:
+    def test_pd_converges_to_defection(self):
+        result = replicator_dynamics(prisoners_dilemma(), iterations=2000)
+        assert result.row_mix[1] > 0.99
+        assert result.col_mix[1] > 0.99
+
+    def test_coordination_converges_to_pure(self):
+        result = replicator_dynamics(coordination_game(2.0, 1.0))
+        game = coordination_game(2.0, 1.0)
+        # The reached state must be (near) one of the pure equilibria.
+        profile = (int(np.argmax(result.row_mix)), int(np.argmax(result.col_mix)))
+        assert profile in [(0, 0), (1, 1)]
+        assert game.is_nash(
+            np.round(result.row_mix), np.round(result.col_mix)
+        )
+
+    def test_dominated_strategy_dies_out(self):
+        A = np.array([[3.0, 3.0], [1.0, 1.0]])  # row 0 dominates
+        result = replicator_dynamics(NormalFormGame(A, A.T), iterations=3000)
+        assert result.row_mix[0] > 0.999
+
+    def test_matching_pennies_does_not_converge(self):
+        """Discrete-time replicator spirals outward on matching pennies
+        (only the continuous-time flow cycles); the run must report
+        non-convergence while keeping valid simplex points."""
+        result = replicator_dynamics(matching_pennies(), iterations=500)
+        assert not result.converged
+        assert result.row_mix.sum() == pytest.approx(1.0)
+        assert result.col_mix.sum() == pytest.approx(1.0)
+        assert np.all(result.row_mix >= 0)
+
+    def test_fixed_point_of_energy_game(self):
+        from repro.game import energy_game
+
+        energy = np.array([[100.0, 500.0], [400.0, 450.0]])
+        game = energy_game(energy)
+        result = replicator_dynamics(game, iterations=5000)
+        assert (
+            int(np.argmax(result.row_mix)),
+            int(np.argmax(result.col_mix)),
+        ) == (0, 0)  # the energy minimum
+
+    def test_custom_start_preserved_simplex(self):
+        result = replicator_dynamics(
+            prisoners_dilemma(),
+            initial_row=np.array([0.9, 0.1]),
+            initial_col=np.array([0.1, 0.9]),
+            iterations=500,
+        )
+        assert result.row_mix.sum() == pytest.approx(1.0)
+        assert result.col_mix.sum() == pytest.approx(1.0)
+
+    def test_convergence_flag(self):
+        result = replicator_dynamics(prisoners_dilemma(), iterations=10_000)
+        assert result.converged
+        assert result.final_step_norm < 1e-10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            replicator_dynamics(prisoners_dilemma(), iterations=0)
+        with pytest.raises(ValueError):
+            replicator_dynamics(
+                prisoners_dilemma(), initial_row=np.array([-1.0, 2.0])
+            )

@@ -1,0 +1,99 @@
+"""Synthetic image fabrication: exact sizes, sharing, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.device import Arch
+from repro.registry.images import (
+    OFFICIAL_BASES,
+    build_image,
+    split_sizes,
+    synthetic_blob,
+)
+
+
+class TestSplitSizes:
+    def test_exactness(self):
+        assert sum(split_sizes(1_000_003, 7, "x")) == 1_000_003
+
+    def test_single_part(self):
+        assert split_sizes(500, 1, "x") == [500]
+
+    def test_deterministic(self):
+        assert split_sizes(10**9, 5, "same") == split_sizes(10**9, 5, "same")
+
+    def test_identity_changes_split(self):
+        assert split_sizes(10**9, 5, "a") != split_sizes(10**9, 5, "b")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_sizes(100, 0, "x")
+        with pytest.raises(ValueError):
+            split_sizes(-1, 2, "x")
+
+    @given(
+        total=st.integers(0, 10**10),
+        parts=st.integers(1, 12),
+        identity=st.text(min_size=1, max_size=10),
+    )
+    def test_property_exact_and_nonnegative(self, total, parts, identity):
+        sizes = split_sizes(total, parts, identity)
+        assert len(sizes) == parts
+        assert sum(sizes) == total
+        assert all(s >= 0 for s in sizes)
+
+
+class TestSyntheticBlob:
+    def test_same_identity_same_digest(self):
+        assert synthetic_blob("x", 10).digest == synthetic_blob("x", 10).digest
+
+    def test_different_identity_different_digest(self):
+        assert synthetic_blob("x", 10).digest != synthetic_blob("y", 10).digest
+
+
+class TestBuildImage:
+    def test_per_arch_size_exact(self):
+        mlist, _ = build_image("r/a", 2.36, base=OFFICIAL_BASES["python:3.9"])
+        for manifest in mlist.manifests:
+            assert manifest.total_layer_bytes == 2_360_000_000
+
+    def test_both_archs_by_default(self):
+        mlist, _ = build_image("r/a", 1.0)
+        assert {m.arch for m in mlist.manifests} == {Arch.AMD64, Arch.ARM64}
+
+    def test_blobs_cover_all_references(self):
+        mlist, blobs = build_image("r/a", 1.0, base=OFFICIAL_BASES["alpine:3"])
+        have = {b.digest for b in blobs}
+        for manifest in mlist.manifests:
+            assert manifest.config_digest in have
+            assert set(manifest.layer_digests()) <= have
+
+    def test_same_base_images_share_layers(self):
+        a, _ = build_image("r/a", 1.0, base=OFFICIAL_BASES["python:3.9"])
+        b, _ = build_image("r/b", 2.0, base=OFFICIAL_BASES["python:3.9"])
+        shared = set(a.for_arch(Arch.AMD64).layer_digests()) & set(
+            b.for_arch(Arch.AMD64).layer_digests()
+        )
+        base_layer_count = len(OFFICIAL_BASES["python:3.9"].layer_sizes_bytes)
+        assert len(shared) == base_layer_count
+
+    def test_different_bases_share_nothing(self):
+        a, _ = build_image("r/a", 1.0, base=OFFICIAL_BASES["alpine:3"])
+        b, _ = build_image("r/b", 1.0, base=OFFICIAL_BASES["python:3.9-slim"])
+        assert not set(a.for_arch(Arch.AMD64).layer_digests()) & set(
+            b.for_arch(Arch.AMD64).layer_digests()
+        )
+
+    def test_no_base_allowed(self):
+        mlist, _ = build_image("r/a", 0.5, base=None, app_layers=2)
+        assert mlist.for_arch(Arch.AMD64).total_layer_bytes == 500_000_000
+
+    def test_empty_archs_rejected(self):
+        with pytest.raises(ValueError):
+            build_image("r/a", 1.0, archs=())
+
+    def test_config_blob_is_materialised(self):
+        _, blobs = build_image("r/a", 0.5)
+        materialised = [b for b in blobs if b.materialised]
+        assert len(materialised) == 2  # one config per arch

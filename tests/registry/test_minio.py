@@ -1,0 +1,140 @@
+"""MinIO-style object store: buckets, objects, quota, multipart."""
+
+import pytest
+
+from repro.registry.minio import (
+    BucketAlreadyExists,
+    MinioError,
+    MinioStore,
+    NoSuchBucket,
+    NoSuchKey,
+    QuotaExceeded,
+    UploadNotFound,
+)
+
+
+@pytest.fixture
+def store():
+    s = MinioStore(capacity_gb=0.001)  # 1 MB quota for quota tests
+    s.make_bucket("b")
+    return s
+
+
+class TestBuckets:
+    def test_create_and_list(self, store):
+        store.make_bucket("other")
+        assert set(store.list_buckets()) == {"b", "other"}
+
+    def test_duplicate_bucket_rejected(self, store):
+        with pytest.raises(BucketAlreadyExists):
+            store.make_bucket("b")
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(NoSuchBucket):
+            store.put_object("ghost", "k", b"x")
+
+    def test_remove_empty_bucket(self, store):
+        store.make_bucket("tmp")
+        store.remove_bucket("tmp")
+        assert not store.bucket_exists("tmp")
+
+    def test_remove_non_empty_bucket_rejected(self, store):
+        store.put_object("b", "k", b"x")
+        with pytest.raises(MinioError):
+            store.remove_bucket("b")
+
+
+class TestObjects:
+    def test_put_get_round_trip(self, store):
+        store.put_object("b", "path/to/obj", b"hello")
+        assert store.get_object("b", "path/to/obj") == b"hello"
+
+    def test_stat(self, store):
+        info = store.put_object("b", "k", b"hello")
+        assert info.size_bytes == 5
+        assert store.stat_object("b", "k").etag == info.etag
+
+    def test_overwrite_allowed(self, store):
+        store.put_object("b", "k", b"v1")
+        store.put_object("b", "k", b"v2")
+        assert store.get_object("b", "k") == b"v2"
+
+    def test_etag_is_content_hash(self, store):
+        a = store.put_object("b", "k1", b"same")
+        c = store.put_object("b", "k2", b"same")
+        assert a.etag == c.etag
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(NoSuchKey):
+            store.get_object("b", "ghost")
+
+    def test_remove_object(self, store):
+        store.put_object("b", "k", b"x")
+        store.remove_object("b", "k")
+        assert not store.object_exists("b", "k")
+
+    def test_list_objects_prefix_sorted(self, store):
+        store.put_object("b", "blobs/2", b"x")
+        store.put_object("b", "blobs/1", b"x")
+        store.put_object("b", "manifests/1", b"x")
+        keys = [o.key for o in store.list_objects("b", prefix="blobs/")]
+        assert keys == ["blobs/1", "blobs/2"]
+
+    def test_synthetic_object(self, store):
+        info = store.put_synthetic_object("b", "big", 500)
+        assert info.size_bytes == 500
+        with pytest.raises(MinioError):
+            store.get_object("b", "big")  # no bytes to read
+
+
+class TestQuota:
+    def test_quota_enforced(self, store):
+        store.put_synthetic_object("b", "a", 900_000)
+        with pytest.raises(QuotaExceeded):
+            store.put_synthetic_object("b", "c", 200_000)
+
+    def test_overwrite_frees_old_size(self, store):
+        store.put_synthetic_object("b", "a", 900_000)
+        # Replacing the same key with a slightly larger object fits.
+        store.put_synthetic_object("b", "a", 950_000)
+        assert store.used_bytes() == 950_000
+
+    def test_unlimited_when_none(self):
+        s = MinioStore(capacity_gb=None)
+        s.make_bucket("b")
+        s.put_synthetic_object("b", "huge", 10**12)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MinioStore(capacity_gb=0.0)
+
+
+class TestMultipart:
+    def test_parts_assemble_in_order(self, store):
+        upload = store.initiate_multipart("b", "assembled")
+        store.upload_part(upload, 2, b"world")
+        store.upload_part(upload, 1, b"hello ")
+        info = store.complete_multipart(upload)
+        assert store.get_object("b", "assembled") == b"hello world"
+        assert info.size_bytes == 11
+
+    def test_abort_discards(self, store):
+        upload = store.initiate_multipart("b", "k")
+        store.upload_part(upload, 1, b"x")
+        store.abort_multipart(upload)
+        with pytest.raises(UploadNotFound):
+            store.complete_multipart(upload)
+
+    def test_complete_empty_rejected(self, store):
+        upload = store.initiate_multipart("b", "k")
+        with pytest.raises(MinioError):
+            store.complete_multipart(upload)
+
+    def test_part_numbers_start_at_one(self, store):
+        upload = store.initiate_multipart("b", "k")
+        with pytest.raises(ValueError):
+            store.upload_part(upload, 0, b"x")
+
+    def test_unknown_upload_rejected(self, store):
+        with pytest.raises(UploadNotFound):
+            store.upload_part("bogus", 1, b"x")

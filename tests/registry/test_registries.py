@@ -1,0 +1,201 @@
+"""Registry behaviour: pushes, pulls, mirroring, hub CDN, regional MinIO."""
+
+import pytest
+
+from repro.model.device import Arch
+from repro.model.registry import RegistryInfo, RegistryKind
+from repro.registry.base import ImageReference, Registry, RegistryError, mirror_image
+from repro.registry.hub import (
+    DockerHub,
+    PointOfPresence,
+    PullRateLimiter,
+    RateLimitExceeded,
+)
+from repro.registry.images import OFFICIAL_BASES, build_image
+from repro.registry.minio import MinioStore
+from repro.registry.regional import RegionalRegistry
+from repro.registry.repository import ManifestNotFound
+
+
+@pytest.fixture
+def image():
+    return build_image("acme/app", 0.5, base=OFFICIAL_BASES["alpine:3"])
+
+
+@pytest.fixture
+def hub(image):
+    registry = DockerHub()
+    mlist, blobs = image
+    registry.push_image("acme/app", "latest", mlist, blobs)
+    return registry
+
+
+class TestImageReference:
+    def test_parse_with_tag(self):
+        ref = ImageReference.parse("acme/app:v2")
+        assert ref.repository == "acme/app" and ref.tag == "v2"
+
+    def test_parse_default_tag(self):
+        assert ImageReference.parse("acme/app").tag == "latest"
+
+    def test_digest_form_rejected(self):
+        with pytest.raises(ValueError):
+            ImageReference.parse("acme/app@sha256:" + "0" * 64)
+
+    def test_str(self):
+        assert str(ImageReference("a/b", "t")) == "a/b:t"
+
+
+class TestPushPull:
+    def test_push_then_resolve(self, hub):
+        manifest = hub.resolve(ImageReference("acme/app"), Arch.AMD64)
+        assert manifest.arch is Arch.AMD64
+        assert manifest.total_layer_bytes == 500_000_000
+
+    def test_push_missing_blobs_fails_atomically(self, image):
+        registry = Registry(RegistryInfo("r", RegistryKind.HUB))
+        mlist, blobs = image
+        with pytest.raises(RegistryError):
+            registry.push_image("acme/app", "latest", mlist, blobs[:1])
+        assert "acme/app" not in registry.repositories
+
+    def test_resolve_unknown_repo(self, hub):
+        with pytest.raises(ManifestNotFound):
+            hub.resolve(ImageReference("ghost/app"), Arch.AMD64)
+
+    def test_has_image_does_not_count_pull(self, hub):
+        ref = ImageReference("acme/app")
+        assert hub.has_image(ref, Arch.ARM64)
+        assert hub.pull_count(ref) == 0
+
+    def test_pull_count_increments(self, hub):
+        ref = ImageReference("acme/app")
+        hub.resolve(ref, Arch.AMD64)
+        hub.resolve(ref, Arch.ARM64)
+        assert hub.pull_count(ref) == 2
+
+    def test_fetch_blob_integrity(self, hub, image):
+        mlist, _ = image
+        for layer in mlist.for_arch(Arch.AMD64).layers:
+            assert hub.fetch_blob(layer.digest).size_bytes == layer.size_bytes
+
+    def test_catalog(self, hub):
+        assert hub.catalog() == ["acme/app"]
+
+    def test_storage_bytes_dedups_shared_base(self, hub):
+        """Two images on the same base store the base layers once."""
+        from repro.registry.images import OFFICIAL_BASES, build_image
+
+        before = hub.storage_bytes()
+        mlist2, blobs2 = build_image(
+            "acme/sibling", 0.5, base=OFFICIAL_BASES["alpine:3"]
+        )
+        hub.push_image("acme/sibling", "latest", mlist2, blobs2)
+        added = hub.storage_bytes() - before
+        total2 = sum(m.total_layer_bytes for m in mlist2.manifests)
+        assert added < total2  # base layers were already present
+
+
+class TestMirroring:
+    def test_mirror_to_regional_namespace(self, hub):
+        regional = RegionalRegistry()
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app")
+        manifest = regional.resolve(ImageReference("aau/app"), Arch.ARM64)
+        assert manifest.arch is Arch.ARM64
+
+    def test_mirror_preserves_digests(self, hub):
+        regional = RegionalRegistry()
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app")
+        src = hub.resolve(ImageReference("acme/app"), Arch.AMD64)
+        dst = regional.resolve(ImageReference("aau/app"), Arch.AMD64)
+        assert src.digest == dst.digest
+        assert src.layer_digests() == dst.layer_digests()
+
+    def test_mirror_is_incremental(self, hub):
+        regional = RegionalRegistry()
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app")
+        before = regional.persisted_blob_count()
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app2")
+        # Same blobs: only the new manifest object is written.
+        assert regional.persisted_blob_count() == before
+
+
+class TestDockerHub:
+    def test_pop_selection_prefers_fastest(self):
+        hub = DockerHub(
+            pops=[
+                PointOfPresence("slow", ("eu",), 20.0),
+                PointOfPresence("fast", ("eu",), 80.0),
+            ]
+        )
+        assert hub.pop_for_region("eu").name == "fast"
+        assert hub.effective_bandwidth_mbps("eu") == 80.0
+
+    def test_origin_fallback(self):
+        hub = DockerHub(origin_bandwidth_mbps=10.0)
+        assert hub.pop_for_region("mars") is None
+        assert hub.effective_bandwidth_mbps("mars") == 10.0
+
+    def test_duplicate_pop_rejected(self):
+        hub = DockerHub(pops=[PointOfPresence("p", ("eu",), 10.0)])
+        with pytest.raises(ValueError):
+            hub.add_pop(PointOfPresence("p", ("us",), 10.0))
+
+    def test_rate_limiter_window(self):
+        limiter = PullRateLimiter(limit=2, window_s=100.0)
+        limiter.record_pull("dev", 0.0)
+        limiter.record_pull("dev", 1.0)
+        with pytest.raises(RateLimitExceeded):
+            limiter.record_pull("dev", 2.0)
+        # Window rolls over: allowance resets.
+        assert limiter.record_pull("dev", 101.0) == 1
+
+    def test_rate_limiter_per_client(self):
+        limiter = PullRateLimiter(limit=1, window_s=100.0)
+        limiter.record_pull("a", 0.0)
+        limiter.record_pull("b", 0.0)  # independent allowance
+
+    def test_remaining(self):
+        limiter = PullRateLimiter(limit=3, window_s=100.0)
+        limiter.record_pull("dev", 0.0)
+        assert limiter.remaining("dev", 1.0) == 2
+        assert limiter.remaining("dev", 200.0) == 3
+
+    def test_metered_hub_raises_on_exhaustion(self, image):
+        hub = DockerHub(rate_limiter=PullRateLimiter(limit=1, window_s=60.0))
+        mlist, blobs = image
+        hub.push_image("acme/app", "latest", mlist, blobs)
+        hub.meter_pull("dev", 0.0)
+        with pytest.raises(RateLimitExceeded):
+            hub.meter_pull("dev", 1.0)
+
+
+class TestRegionalRegistry:
+    def test_kind_and_persistence(self, hub):
+        regional = RegionalRegistry()
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app")
+        assert regional.kind is RegistryKind.REGIONAL
+        assert regional.persisted_blob_count() > 0
+        assert regional.persisted_bytes() == regional.storage_bytes()
+
+    def test_capacity_enforced_before_publish(self, hub):
+        tiny = RegionalRegistry(store=MinioStore(capacity_gb=0.1))
+        with pytest.raises(RegistryError):
+            mirror_image(hub, tiny, "acme/app", "latest", "aau/app")
+        # Atomic failure: nothing half-published.
+        assert "aau/app" not in tiny.repositories
+        assert tiny.persisted_blob_count() == 0
+
+    def test_free_bytes(self):
+        regional = RegionalRegistry(store=MinioStore(capacity_gb=1.0))
+        assert regional.free_bytes() == 10**9
+
+    def test_manifest_persisted_as_json(self, hub):
+        regional = RegionalRegistry()
+        mirror_image(hub, regional, "acme/app", "latest", "aau/app")
+        raw = regional.store.get_object(
+            regional.bucket, regional.manifest_key("aau/app", "latest")
+        )
+        import json
+
+        assert json.loads(raw)["schemaVersion"] == 2

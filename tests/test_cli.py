@@ -1,0 +1,31 @@
+"""CLI entry point: every subcommand renders sound output."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "83.33" in out
+        assert "5/5 distribution cells match" in out
+
+    def test_calibration_dump(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "Calibrated constants" in out
+        assert "vp-ha-train" in out
+        assert "medium:" in out and "small:" in out
+
+    def test_fig3b(self, capsys):
+        assert main(["fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3b" in out
+        assert "exclusively-docker-hub" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
