@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig3a       # Figure 3a per-service energy
     python -m repro.cli fig3b       # Figure 3b method comparison
     python -m repro.cli ablations   # A1–A4
+    python -m repro.cli p2p         # three-tier registry comparison
     python -m repro.cli all         # everything above
     python -m repro.cli calibration # dump the fitted constants
 """
@@ -17,7 +18,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
-from .experiments import ablations, cloud, figure3a, figure3b, table2, table3
+from .experiments import ablations, cloud, figure3a, figure3b, p2p, table2, table3
 from .experiments.runner import ExperimentResult
 from .workloads.calibration import calibrate
 from .workloads.testbed import build_testbed
@@ -56,7 +57,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
-                 "all", "calibration"],
+                 "p2p", "all", "calibration"],
         help="which artefact to regenerate",
     )
     args = parser.parse_args(argv)
@@ -72,10 +73,12 @@ def main(argv: List[str] = None) -> int:
         "fig3a": lambda: figure3a.run(testbed),
         "fig3b": lambda: figure3b.run(testbed),
         "cloud": lambda: cloud.run(testbed),
+        "p2p": lambda: p2p.run(),
     }
     selected: List[str]
     if args.experiment == "all":
-        selected = ["table2", "table3", "fig3a", "fig3b", "ablations", "cloud"]
+        selected = ["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
+                    "p2p"]
     else:
         selected = [args.experiment]
 

@@ -26,10 +26,17 @@ from .pipeline import (
     plan_deployment,
 )
 from .placement import Assignment, PlacementError, PlacementPlan
-from .scheduler import DeepScheduler, NashSolver, ScheduleResult, SchedulerBase
+from .scheduler import (
+    CacheAffinityScheduler,
+    DeepScheduler,
+    NashSolver,
+    ScheduleResult,
+    SchedulerBase,
+)
 
 __all__ = [
     "Assignment",
+    "CacheAffinityScheduler",
     "CostMatrix",
     "CostTable",
     "DeepScheduler",

@@ -23,7 +23,7 @@ from ..model.metrics import (
     energy_breakdown,
     phase_times,
 )
-from ..model.units import gb_to_bytes
+from ..model.units import gb_to_bytes, gb_to_mb
 from .environment import Environment
 
 
@@ -46,14 +46,33 @@ class SchedulerState:
     def is_cached(self, device: str, image: str) -> bool:
         return image in self.cached_images.get(device, set())
 
+    def peer_holders(self, image: str, exclude: str = "") -> List[str]:
+        """Devices (other than ``exclude``) already holding ``image``.
+
+        These are the candidate P2P sources a peer-aware deployment can
+        pull from instead of a registry.  Sorted for determinism.
+        """
+        return sorted(
+            device
+            for device, images in self.cached_images.items()
+            if device != exclude and image in images
+        )
+
     def commit(
         self,
         service: Microservice,
         registry: str,
         device: str,
         completion_s: float,
+        via: str = "",
     ) -> None:
-        """Record the consequences of one assignment."""
+        """Record the consequences of one assignment.
+
+        ``via`` is the transfer-source label (``peer:<dev>`` when the
+        P2P tier serves the image): peer-served deployments occupy the
+        device's storage but do not add to the registry's served-bytes
+        congestion account — the registry never moved those bytes.
+        """
         images = self.cached_images.setdefault(device, set())
         if service.image not in images:
             images.add(service.image)
@@ -61,9 +80,10 @@ class SchedulerState:
             self.storage_used_bytes[device] = (
                 self.storage_used_bytes.get(device, 0) + size
             )
-            self.registry_bytes[registry] = (
-                self.registry_bytes.get(registry, 0) + size
-            )
+            if not via.startswith("peer:"):
+                self.registry_bytes[registry] = (
+                    self.registry_bytes.get(registry, 0) + size
+                )
         self.busy_s[device] = self.busy_s.get(device, 0.0) + completion_s
         self.upstream_devices[service.name] = device
 
@@ -91,6 +111,9 @@ class CostMatrix:
     energy_j: np.ndarray
     completion_s: np.ndarray
     feasible: np.ndarray
+    #: Image the service deploys (lets cache-affinity schedulers score
+    #: peer/local residency without re-deriving it from the app).
+    image: str = ""
 
     def any_feasible(self) -> bool:
         return bool(self.feasible.any())
@@ -110,11 +133,74 @@ class CostMatrix:
 
 
 class CostTable:
-    """Evaluates the paper's cost equations against scheduler state."""
+    """Evaluates the paper's cost equations against scheduler state.
 
-    def __init__(self, app: Application, env: Environment) -> None:
+    Parameters
+    ----------
+    app / env:
+        The application DAG and deployment environment.
+    peer_transfers:
+        When True, the deployment term ``Td`` additionally considers
+        pulling the image from a *peer device* already holding it
+        (P2P tier): ``Td = Size / max(BW_gj, BW_kj)`` over committed
+        holders ``k`` with a channel to the target.  Off by default so
+        the paper's two-tier numbers are reproduced unchanged.
+    """
+
+    def __init__(
+        self, app: Application, env: Environment, peer_transfers: bool = False
+    ) -> None:
         self.app = app
         self.env = env
+        self.peer_transfers = peer_transfers
+
+    # ------------------------------------------------------------------
+    # the P2P deployment term
+    # ------------------------------------------------------------------
+    def peer_deploy_seconds(
+        self, state: SchedulerState, service: Microservice, device_name: str
+    ) -> Tuple[float, str]:
+        """Fastest peer-sourced deployment of ``service`` onto a device.
+
+        Returns ``(seconds, peer)``; ``(inf, "")`` when no committed
+        holder of the image has a channel to ``device_name``.
+        """
+        best_s = float("inf")
+        best_peer = ""
+        size_mb = gb_to_mb(service.cold_pull_gb)
+        for peer in state.peer_holders(service.image, exclude=device_name):
+            if not self.env.network.has_device_channel(peer, device_name):
+                continue
+            channel = self.env.network.device_channel(peer, device_name)
+            seconds = channel.transfer_time_s(size_mb)
+            if seconds < best_s:
+                best_s, best_peer = seconds, peer
+        return best_s, best_peer
+
+    def transfer_source(
+        self,
+        name: str,
+        registry: str,
+        device_name: str,
+        state: Optional[SchedulerState] = None,
+    ) -> str:
+        """Where the deployment bytes of one assignment come from.
+
+        ``"cached"`` (already resident), ``"peer:<device>"`` (P2P tier
+        beats the registry channel), or ``"registry:<name>"``.
+        """
+        state = state or SchedulerState()
+        service = self.app.service(name)
+        if state.is_cached(device_name, service.image):
+            return "cached"
+        if self.peer_transfers:
+            peer_s, peer = self.peer_deploy_seconds(state, service, device_name)
+            registry_s = self.env.network.deployment_time_s(
+                registry, device_name, service.cold_pull_gb
+            )
+            if peer and peer_s < registry_s:
+                return f"peer:{peer}"
+        return f"registry:{registry}"
 
     def record(
         self,
@@ -136,6 +222,10 @@ class CostTable:
         times = phase_times(
             service, device, self.env.network, registry, incoming, cached
         )
+        if self.peer_transfers and not cached:
+            peer_s, peer = self.peer_deploy_seconds(state, service, device_name)
+            if peer and peer_s < times.deploy_s:
+                times = PhaseTimes(peer_s, times.transfer_s, times.compute_s)
         scale = self.env.intensity(name, device_name)
         energy = energy_breakdown(times, device, scale)
         return CostRecord(
@@ -192,4 +282,5 @@ class CostTable:
             energy_j=energy,
             completion_s=completion,
             feasible=feasible,
+            image=service.image,
         )

@@ -71,9 +71,13 @@ class SchedulerBase:
         """Return (registry_index, device_index) into the cost matrix."""
         raise NotImplementedError
 
+    #: Subclasses that reason over the P2P tier set this so the cost
+    #: table folds peer-sourced deployment times into ``Td``.
+    peer_transfers = False
+
     def schedule(self, app: Application, env: Environment) -> ScheduleResult:
         """Produce a full plan for ``app`` in ``env``."""
-        table = CostTable(app, env)
+        table = CostTable(app, env, peer_transfers=self.peer_transfers)
         state = SchedulerState()
         plan = PlacementPlan(application=app.name)
         records: List[CostRecord] = []
@@ -94,9 +98,14 @@ class SchedulerBase:
             registry = costs.registries[g]
             device = costs.devices[d]
             record = table.record(name, registry, device, state)
-            plan.assign(name, registry, device)
+            via = table.transfer_source(name, registry, device, state)
+            plan.assign(name, registry, device, via=via)
             state.commit(
-                app.service(name), registry, device, record.times.completion_s
+                app.service(name),
+                registry,
+                device,
+                record.times.completion_s,
+                via=via,
             )
             records.append(record)
             diagnostics[name] = getattr(self, "_last_equilibria", 0)
@@ -159,3 +168,54 @@ class DeepScheduler(SchedulerBase):
             equilibria = pure_equilibria(game)
         self._last_equilibria = len(equilibria)
         return select_equilibrium(game, equilibria, costs)
+
+
+class CacheAffinityScheduler(SchedulerBase):
+    """Peer-aware cache-affinity scheduling for the P2P tier.
+
+    Scores every feasible cell by completion time, discounted where
+    image bytes are already nearby: a full ``local_weight`` discount
+    when the image is resident on the device (``Td`` is already zero,
+    the discount additionally rewards reusing warm nodes over spreading
+    pulls), and a ``peer_weight`` discount when a committed peer with a
+    device channel holds it (the swarm serves the pull at LAN speed).
+    ``peer_transfers`` is on, so the underlying cost matrix already
+    prices peer-sourced deployments into ``Td`` — the discounts bias
+    *placement* toward layer-sharing devices on top of that.
+    """
+
+    name = "cache-affinity"
+    peer_transfers = True
+
+    def __init__(self, local_weight: float = 0.3, peer_weight: float = 0.15) -> None:
+        if not 0.0 <= local_weight < 1.0 or not 0.0 <= peer_weight < 1.0:
+            raise ValueError("affinity weights must be in [0, 1)")
+        self.local_weight = local_weight
+        self.peer_weight = peer_weight
+
+    def choose(
+        self, costs: CostMatrix, state: SchedulerState, env: Environment
+    ) -> Tuple[int, int]:
+        best: Optional[Tuple[int, int]] = None
+        best_score = float("inf")
+        for d, device in enumerate(costs.devices):
+            feasible_g = np.flatnonzero(costs.feasible[:, d])
+            if feasible_g.size == 0:
+                continue
+            if state.is_cached(device, costs.image):
+                discount = 1.0 - self.local_weight
+            elif any(
+                env.network.has_device_channel(peer, device)
+                for peer in state.peer_holders(costs.image, exclude=device)
+            ):
+                discount = 1.0 - self.peer_weight
+            else:
+                discount = 1.0
+            for g in feasible_g:
+                score = float(costs.completion_s[g, d]) * discount
+                if score < best_score:
+                    best_score = score
+                    best = (int(g), d)
+        if best is None:  # pragma: no cover - schedule() pre-checks feasibility
+            raise PlacementError(f"no feasible cell for {costs.service!r}")
+        return best

@@ -14,7 +14,7 @@ stage parallelism in the orchestrator happens across devices only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from ..model.application import Microservice
 from ..model.device import Device, Phase
@@ -24,6 +24,7 @@ from ..model.units import bytes_to_mb
 from ..registry.base import ImageReference, Registry
 from ..registry.cache import ImageCache
 from ..registry.client import PullPolicy, PullResult, RegistryClient
+from ..registry.p2p import P2PPullResult, P2PRegistry
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
 from .power import PowerTrace
@@ -49,7 +50,7 @@ class ExecutionRecord:
     start_s: float
     times: PhaseTimes
     energy: EnergyBreakdown
-    pull: PullResult
+    pull: Union[PullResult, P2PPullResult]
     intensity: float
 
     @property
@@ -70,7 +71,16 @@ class ExecutionRecord:
 
 
 class DeviceRuntime:
-    """One device's runtime state inside a simulation."""
+    """One device's runtime state inside a simulation.
+
+    When a :class:`~repro.registry.p2p.P2PRegistry` is attached the
+    deploy phase uses the three-tier pull plan, which is inherently
+    *layered*: ``pull_policy`` and the whole-image ``warm_fraction``
+    calibration do not apply on that path (shared base layers are
+    deduplicated for real instead of being approximated).  Compare
+    P2P runs against ``PullPolicy.LAYERED`` baselines, not
+    ``WHOLE_IMAGE`` ones, to isolate the effect of the peer tier.
+    """
 
     def __init__(
         self,
@@ -79,6 +89,7 @@ class DeviceRuntime:
         network: NetworkModel,
         pull_policy: PullPolicy = PullPolicy.WHOLE_IMAGE,
         intensity: IntensityFn = unit_intensity,
+        p2p: Optional[P2PRegistry] = None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -88,6 +99,12 @@ class DeviceRuntime:
         self.trace = PowerTrace(device)
         self.client = RegistryClient(pull_policy)
         self.intensity = intensity
+        self.p2p = p2p
+        if p2p is not None:
+            # Joining the swarm publishes this device's cache contents
+            # to the peer index (and keeps them published via the
+            # cache subscription hook).
+            p2p.swarm.add_device(device.name, self.cache, region=device.region)
         self._lock = Resource(sim, 1)
         self.records: List[ExecutionRecord] = []
 
@@ -143,21 +160,37 @@ class DeviceRuntime:
             power = self.device.power
 
             # Phase 1 — deployment: pull what the cache doesn't hold.
-            pull = self.client.pull(
-                registry,
-                reference,
-                self.device.arch,
-                self.cache,
-                client_name=self.name,
-                now_s=self.sim.now,
-            )
-            transferred = pull.bytes_transferred
-            if self.client.policy is PullPolicy.WHOLE_IMAGE:
-                # The whole-image model cannot see shared base layers;
-                # the calibrated warm fraction approximates them
-                # (layered mode dedups for real instead).
-                transferred = int(transferred * (1.0 - service.warm_fraction))
-            deploy_s = self.pull_seconds(registry.name, transferred)
+            pull: Union[PullResult, P2PPullResult]
+            if self.p2p is not None:
+                # Three-tier pull: each missing layer comes from its
+                # cheapest source (peer → regional → hub); the plan's
+                # per-channel estimate is the deployment time.
+                pull = self.p2p.pull(
+                    reference,
+                    self.device.arch,
+                    self.name,
+                    self.cache,
+                    now_s=self.sim.now,
+                )
+                registry_name = self.p2p.name
+                deploy_s = pull.seconds
+            else:
+                pull = self.client.pull(
+                    registry,
+                    reference,
+                    self.device.arch,
+                    self.cache,
+                    client_name=self.name,
+                    now_s=self.sim.now,
+                )
+                registry_name = registry.name
+                transferred = pull.bytes_transferred
+                if self.client.policy is PullPolicy.WHOLE_IMAGE:
+                    # The whole-image model cannot see shared base layers;
+                    # the calibrated warm fraction approximates them
+                    # (layered mode dedups for real instead).
+                    transferred = int(transferred * (1.0 - service.warm_fraction))
+                deploy_s = self.pull_seconds(registry.name, transferred)
             if deploy_s > 0:
                 self.trace.record(
                     self.sim.now, deploy_s, Phase.PULL, label=service.name
@@ -195,7 +228,7 @@ class DeviceRuntime:
             record = ExecutionRecord(
                 service=service.name,
                 device=self.name,
-                registry=registry.name,
+                registry=registry_name,
                 start_s=start_s,
                 times=times,
                 energy=energy,

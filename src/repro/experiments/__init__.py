@@ -1,6 +1,6 @@
 """Experiments: one module per table/figure of the paper + ablations."""
 
-from . import ablations, cloud, figure3a, figure3b, table2, table3
+from . import ablations, cloud, figure3a, figure3b, p2p, table2, table3
 from .runner import ExperimentResult, deploy_and_run, make_cluster
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "figure3a",
     "figure3b",
     "make_cluster",
+    "p2p",
     "table2",
     "table3",
 ]

@@ -1,0 +1,321 @@
+"""Experiment P2P: what the third registry tier buys at the edge.
+
+Compares three deployments of the same layer-sharing pull workload on
+a swarm of edge devices:
+
+* ``hub-only``    — every layer comes from Docker Hub (tier 1),
+* ``hybrid``      — the paper's design: regional registry first, hub
+  fallback (tiers 1–2),
+* ``hybrid+p2p``  — the full stack: peers serve cached layers over the
+  LAN, the adaptive replicator spreads hot layers into
+  under-provisioned regions, registries only fill misses (tiers 1–3).
+
+The workload is deliberately layer-sharing: images are built on common
+bases (``python:3.9-slim`` et al.), and demand is Zipf-skewed so a few
+hot images dominate — the regime where EdgePier-style peer
+distribution pays off.  The headline metric is *origin traffic*: bytes
+pulled from hub + regional.  The P2P tier strictly lowers it because
+every layer already cached anywhere in a region can be served locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.device import Arch
+from ..model.network import NetworkModel
+from ..model.units import BYTES_PER_GB
+from ..registry.base import ImageReference, mirror_image
+from ..registry.cache import ImageCache
+from ..registry.hub import DockerHub
+from ..registry.images import OFFICIAL_BASES, build_image
+from ..registry.minio import MinioStore
+from ..registry.p2p import AdaptiveReplicator, P2PRegistry, PeerSwarm
+from ..registry.regional import RegionalRegistry
+from ..sim.engine import Simulator
+from ..sim.rng import DEFAULT_SEED, RngRegistry
+from .runner import ExperimentResult
+
+MODES = ("hub-only", "hybrid", "hybrid+p2p")
+
+#: Image sizes cycled over the synthetic catalogue (GB, compressed).
+_IMAGE_SIZES_GB = (0.35, 0.6, 0.9, 1.2)
+
+#: Bases cycled over the catalogue: shared layers across images are
+#: what the peer tier (and layer dedup generally) exploits.
+_IMAGE_BASES = ("python:3.9-slim", "alpine:3", "python:3.9")
+
+
+@dataclass(frozen=True)
+class SwarmDevice:
+    """One edge device of the synthetic swarm."""
+
+    name: str
+    region: str
+    cache_gb: float
+
+
+@dataclass
+class SwarmScenario:
+    """A fully wired pull workload over a swarm of edge devices."""
+
+    devices: List[SwarmDevice]
+    network: NetworkModel
+    hub: DockerHub
+    regional: RegionalRegistry
+    references: List[ImageReference]
+    #: (arrival time, device name, reference) — sorted by time.
+    schedule: List[Tuple[float, str, ImageReference]]
+    horizon_s: float
+    seed: int
+
+
+@dataclass
+class ModeOutcome:
+    """Aggregated traffic of one mode run."""
+
+    mode: str
+    pulls: int = 0
+    cache_hits: int = 0
+    bytes_by_registry: Dict[str, int] = field(default_factory=dict)
+    bytes_from_peers: int = 0
+    bytes_replicated: int = 0
+    transfer_s: float = 0.0
+    replicator: Optional[AdaptiveReplicator] = None
+
+    @property
+    def origin_bytes(self) -> int:
+        """Bytes served by hub + regional (the tiers P2P offloads)."""
+        return sum(self.bytes_by_registry.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.pulls if self.pulls else 0.0
+
+
+def build_scenario(
+    n_devices: int = 12,
+    n_images: int = 6,
+    pulls_per_device: int = 4,
+    n_regions: int = 3,
+    cache_gb: float = 12.0,
+    horizon_s: float = 3600.0,
+    seed: int = DEFAULT_SEED,
+) -> SwarmScenario:
+    """A deterministic layer-sharing workload on an ``n_devices`` swarm.
+
+    Regions are LAN islands (full mesh at LAN bandwidth); every device
+    reaches the hub (CDN bandwidth varies by region) and the regional
+    registry (fast only for its home region).  Demand is Zipf-skewed
+    over the image catalogue with exponential arrivals.
+    """
+    if n_devices < 2:
+        raise ValueError("a swarm needs at least 2 devices")
+    rng = RngRegistry(seed)
+
+    # --- registries and the shared-base image catalogue ---------------
+    hub = DockerHub(name="docker-hub")
+    regional = RegionalRegistry(
+        name="regional", store=MinioStore(capacity_gb=200.0)
+    )
+    references: List[ImageReference] = []
+    for i in range(n_images):
+        repo = f"swarm/app{i}"
+        size_gb = _IMAGE_SIZES_GB[i % len(_IMAGE_SIZES_GB)]
+        base = OFFICIAL_BASES[_IMAGE_BASES[i % len(_IMAGE_BASES)]]
+        mlist, blobs = build_image(repo, size_gb, base=base)
+        hub.push_image(repo, "latest", mlist, blobs)
+        mirror_image(hub, regional, repo, "latest")
+        references.append(ImageReference(repo))
+
+    # --- devices, regions, and channels -------------------------------
+    devices = [
+        SwarmDevice(
+            name=f"edge-{i:04d}",
+            region=f"region-{i % n_regions}",
+            cache_gb=cache_gb,
+        )
+        for i in range(n_devices)
+    ]
+    network = NetworkModel()
+    by_region: Dict[str, List[str]] = {}
+    for dev in devices:
+        by_region.setdefault(dev.region, []).append(dev.name)
+    ordered_regions = sorted(by_region.items())
+    for r, (region, members) in enumerate(ordered_regions):
+        if len(members) > 1:
+            network.connect_device_mesh(members, 800.0, rtt_s=0.02)
+        hub_bw = (60.0, 40.0, 25.0)[r % 3]
+        regional_bw = 150.0 if r == 0 else 90.0
+        for name in members:
+            network.connect_registry(hub.name, name, hub_bw, rtt_s=2.5)
+            network.connect_registry(regional.name, name, regional_bw, rtt_s=0.8)
+    # Inter-region WAN links between region gateways (the first member
+    # of each region): slower than the LAN but they make cross-region
+    # peer serving and proactive replication physically possible — a
+    # region no holder can reach cannot be provisioned peer-to-peer.
+    gateways = [members[0] for _, members in ordered_regions]
+    for i, a in enumerate(gateways):
+        for b in gateways[i + 1:]:
+            network.connect_devices(a, b, 200.0, rtt_s=0.05)
+
+    # --- Zipf-skewed pull schedule -------------------------------------
+    weights = np.array([1.0 / (rank + 1) ** 1.1 for rank in range(n_images)])
+    weights /= weights.sum()
+    demand = rng.stream("p2p.demand")
+    arrivals = rng.stream("p2p.arrivals")
+    schedule: List[Tuple[float, str, ImageReference]] = []
+    for dev in devices:
+        t = float(arrivals.uniform(0.0, horizon_s * 0.3))
+        for _ in range(pulls_per_device):
+            ref = references[int(demand.choice(n_images, p=weights))]
+            schedule.append((t, dev.name, ref))
+            t += float(arrivals.exponential(horizon_s * 0.1))
+    schedule.sort(key=lambda item: (item[0], item[1]))
+    return SwarmScenario(
+        devices=devices,
+        network=network,
+        hub=hub,
+        regional=regional,
+        references=references,
+        schedule=schedule,
+        horizon_s=horizon_s,
+        seed=seed,
+    )
+
+
+def run_mode(
+    scenario: SwarmScenario,
+    mode: str,
+    replicator_interval_s: float = 120.0,
+    replicator_hot_threshold: float = 3.0,
+    replicator_target_replicas: int = 2,
+) -> ModeOutcome:
+    """Execute the scenario's pull schedule under one tier configuration.
+
+    Every mode goes through the same :class:`P2PRegistry` facade on a
+    fresh simulator and fresh caches; modes differ only in the registry
+    chain and whether peers/replication are enabled, so byte counts are
+    directly comparable.  The scenario's registry *objects* are shared
+    across modes — their blob content is immutable, but diagnostic pull
+    counters accumulate, so scenarios must not configure a hub rate
+    limiter (``build_scenario`` never does).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    sim = Simulator()
+    swarm = PeerSwarm(scenario.network)
+    caches: Dict[str, ImageCache] = {}
+    for dev in scenario.devices:
+        cache = ImageCache(dev.cache_gb, dev.name)
+        caches[dev.name] = cache
+        swarm.add_device(dev.name, cache, region=dev.region)
+
+    if mode == "hub-only":
+        chain = [scenario.hub]
+    else:
+        chain = [scenario.regional, scenario.hub]
+    facade = P2PRegistry(
+        swarm, chain, name=mode, use_peers=(mode == "hybrid+p2p")
+    )
+    outcome = ModeOutcome(mode=mode)
+
+    def one_pull(at_s: float, device: str, ref: ImageReference):
+        yield sim.timeout(at_s)
+        result = facade.pull(ref, Arch.AMD64, device, caches[device], now_s=sim.now)
+        outcome.pulls += 1
+        outcome.cache_hits += 1 if result.cache_hit else 0
+        outcome.bytes_from_peers += result.bytes_from_peers
+        outcome.transfer_s += result.seconds
+        for registry, count in result.bytes_by_registry().items():
+            outcome.bytes_by_registry[registry] = (
+                outcome.bytes_by_registry.get(registry, 0) + count
+            )
+        if result.seconds > 0:
+            yield sim.timeout(result.seconds)
+
+    for at_s, device, ref in scenario.schedule:
+        sim.process(one_pull(at_s, device, ref))
+
+    if mode == "hybrid+p2p":
+        replicator = AdaptiveReplicator(
+            sim,
+            swarm,
+            interval_s=replicator_interval_s,
+            hot_threshold=replicator_hot_threshold,
+            target_replicas=replicator_target_replicas,
+        )
+        sim.process(replicator.process())
+        outcome.replicator = replicator
+        sim.run(until=scenario.horizon_s)
+        outcome.bytes_replicated = replicator.bytes_replicated
+    else:
+        sim.run(until=scenario.horizon_s)
+    return outcome
+
+
+def run(
+    n_devices: int = 12,
+    n_images: int = 6,
+    pulls_per_device: int = 4,
+    n_regions: int = 3,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """The three-tier comparison as a standard experiment table."""
+    scenario = build_scenario(
+        n_devices=n_devices,
+        n_images=n_images,
+        pulls_per_device=pulls_per_device,
+        n_regions=n_regions,
+        seed=seed,
+    )
+    result = ExperimentResult(
+        experiment_id="p2p",
+        title=(
+            f"P2P tier: origin traffic on a {n_devices}-device "
+            f"layer-sharing swarm [GB]"
+        ),
+        columns=[
+            "mode",
+            "pulls",
+            "hit_ratio",
+            "hub_gb",
+            "regional_gb",
+            "peer_gb",
+            "origin_gb",
+            "transfer_s",
+        ],
+    )
+    outcomes: Dict[str, ModeOutcome] = {}
+    for mode in MODES:
+        outcome = run_mode(scenario, mode)
+        outcomes[mode] = outcome
+        result.add_row(
+            mode=mode,
+            pulls=outcome.pulls,
+            hit_ratio=outcome.hit_ratio,
+            hub_gb=outcome.bytes_by_registry.get("docker-hub", 0) / BYTES_PER_GB,
+            regional_gb=outcome.bytes_by_registry.get("regional", 0)
+            / BYTES_PER_GB,
+            peer_gb=(outcome.bytes_from_peers + outcome.bytes_replicated)
+            / BYTES_PER_GB,
+            origin_gb=outcome.origin_bytes / BYTES_PER_GB,
+            transfer_s=outcome.transfer_s,
+        )
+    saved = outcomes["hybrid"].origin_bytes - outcomes["hybrid+p2p"].origin_bytes
+    result.note(
+        f"hybrid+p2p pulls {saved / BYTES_PER_GB:.2f} GB less from "
+        f"hub+regional than plain hybrid"
+        + (" (P2P tier offloads the origin)" if saved > 0 else " — NO SAVING")
+    )
+    replicator = outcomes["hybrid+p2p"].replicator
+    if replicator is not None:
+        result.note(
+            f"adaptive replicator: {replicator.total_actions()} proactive "
+            f"copies ({replicator.bytes_replicated / BYTES_PER_GB:.2f} GB), "
+            f"converged={replicator.converged()}"
+        )
+    return result

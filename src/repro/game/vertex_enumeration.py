@@ -87,8 +87,14 @@ def vertex_enumeration(game: NormalFormGame) -> List[Equilibrium]:
     for x, x_labels in p_vertices:
         for y, y_labels in q_vertices:
             if x_labels | y_labels == everything:
+                # Basis solves can leave coordinates a hair below zero
+                # (within the feasibility tolerance); normalising then
+                # amplifies them past the strategy validator.  Clip
+                # before normalising.
+                x_pos = np.clip(x, 0.0, None)
+                y_pos = np.clip(y, 0.0, None)
                 candidate = Equilibrium.of(
-                    game, x / x.sum(), y / y.sum()
+                    game, x_pos / x_pos.sum(), y_pos / y_pos.sum()
                 )
                 if game.is_nash(
                     candidate.row_strategy, candidate.col_strategy, tol=1e-8

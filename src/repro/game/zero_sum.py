@@ -37,10 +37,15 @@ class ZeroSumSolution:
 def _maximin(payoff: np.ndarray) -> Tuple[np.ndarray, float]:
     """Row maximin mixture for payoff matrix ``payoff`` via LP."""
     m, n = payoff.shape
+    # Shift so the minimum payoff is exactly 1 whenever it is below 1.
+    # Shifting only non-positive matrices is not enough: a matrix of
+    # tiny positive entries (e.g. 1e-133) yields constraints that need
+    # astronomically large u, which HiGHS rejects as infeasible.  With
+    # min(shifted) == 1 the LP is always well-scaled and feasible.
     shift = 0.0
-    if payoff.min() <= 0:
+    if payoff.min() < 1.0:
         shift = 1.0 - payoff.min()
-    shifted = payoff + shift  # strictly positive -> value > 0
+    shifted = payoff + shift  # min entry 1 -> value >= 1 > 0
     # Classic transformation: minimise Σu s.t. shiftedᵀ u >= 1, u >= 0;
     # then x = u / Σu and value = 1 / Σu.
     result = linprog(

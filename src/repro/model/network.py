@@ -14,7 +14,7 @@ touch the network and take zero time (loopback).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from .units import require_non_negative, require_positive, transfer_time_s
 
@@ -84,6 +84,23 @@ class NetworkModel:
         if symmetric:
             self._device_channels[(b, a)] = channel
 
+    def connect_device_mesh(
+        self,
+        names: Iterable[str],
+        bandwidth_mbps: float,
+        rtt_s: float = 0.0,
+    ) -> None:
+        """Fully connect ``names`` with symmetric channels.
+
+        Convenience for P2P swarm topologies where every device in a
+        region can serve layers to every other.  Existing channels
+        between the named devices are overwritten.
+        """
+        members = list(names)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                self.connect_devices(a, b, bandwidth_mbps, rtt_s)
+
     def connect_registry(
         self,
         registry: str,
@@ -117,6 +134,10 @@ class NetworkModel:
 
     def has_registry_channel(self, registry: str, device: str) -> bool:
         return (registry, device) in self._registry_channels
+
+    def has_device_channel(self, src: str, dst: str) -> bool:
+        """Whether a (non-loopback) channel ``src → dst`` exists."""
+        return (src, dst) in self._device_channels
 
     def device_bandwidth_mbps(self, src: str, dst: str) -> float:
         """``BW_kj``; ``inf`` for loopback."""

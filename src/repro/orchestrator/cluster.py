@@ -14,6 +14,7 @@ from ..model.device import Device
 from ..model.network import NetworkModel
 from ..registry.base import Registry
 from ..registry.client import PullPolicy
+from ..registry.p2p import P2PRegistry
 from ..sim.engine import Simulator
 
 
@@ -29,10 +30,12 @@ class Cluster:
         sim: Optional[Simulator] = None,
         pull_policy: PullPolicy = PullPolicy.WHOLE_IMAGE,
         intensity: IntensityFn = unit_intensity,
+        p2p: Optional[P2PRegistry] = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.pull_policy = pull_policy
         self.intensity = intensity
+        self.p2p = p2p
         self._nodes: Dict[str, DeviceRuntime] = {}
         self._registries: Dict[str, Registry] = {}
 
@@ -49,6 +52,7 @@ class Cluster:
             network=network,
             pull_policy=self.pull_policy,
             intensity=self.intensity,
+            p2p=self.p2p,
         )
         self._nodes[device.name] = runtime
         return runtime

@@ -3,7 +3,7 @@ registries, content-addressed blobs, manifests, pulls and caching."""
 
 from .base import ImageReference, Registry, RegistryError, mirror_image
 from .blobstore import BlobNotFound, BlobRecord, BlobStore
-from .cache import CacheFull, EvictionRecord, ImageCache
+from .cache import CacheEvent, CacheFull, EvictionRecord, ImageCache
 from .client import PullPolicy, PullResult, RegistryClient
 from .digest import digest_bytes, digest_text, is_digest, short_digest
 from .hub import DockerHub, PointOfPresence, PullRateLimiter, RateLimitExceeded
@@ -18,17 +18,42 @@ from .minio import (
     ObjectInfo,
     QuotaExceeded,
 )
+from .p2p import (
+    AdaptiveReplicator,
+    LayerSource,
+    P2PPullResult,
+    P2PRegistry,
+    PeerIndex,
+    PeerSwarm,
+    PullPlan,
+    PullPlanner,
+    ReplicationAction,
+    ReplicatorCycle,
+    SourceKind,
+)
 from .regional import RegionalRegistry
 from .repository import ManifestNotFound, Repository, RepositoryIndex
 
 __all__ = [
+    "AdaptiveReplicator",
     "BaseImage",
     "BlobNotFound",
     "BlobRecord",
     "BlobStore",
     "BucketAlreadyExists",
+    "CacheEvent",
     "CacheFull",
     "DockerHub",
+    "LayerSource",
+    "P2PPullResult",
+    "P2PRegistry",
+    "PeerIndex",
+    "PeerSwarm",
+    "PullPlan",
+    "PullPlanner",
+    "ReplicationAction",
+    "ReplicatorCycle",
+    "SourceKind",
     "EvictionRecord",
     "ImageCache",
     "ImageManifest",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..model.units import BYTES_PER_GB
 from .manifest import ImageManifest
@@ -31,6 +31,28 @@ class EvictionRecord:
 
     digest: str
     size_bytes: int
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One presence change in an :class:`ImageCache`.
+
+    Emitted to subscribers whenever a digest enters (``"add"``) or
+    leaves (``"evict"`` for LRU victims, ``"remove"`` for explicit
+    drops and :meth:`ImageCache.clear`) the cache.  Refreshing an
+    already-present entry emits no event unless its size changed —
+    presence, which is what subscribers such as the P2P peer index
+    track, is unaffected by recency updates.
+    """
+
+    kind: str
+    device: str
+    digest: str
+    size_bytes: int
+
+
+#: A cache subscriber; called synchronously after the cache mutates.
+CacheListener = Callable[[CacheEvent], None]
 
 
 class CacheFull(RuntimeError):
@@ -54,6 +76,29 @@ class ImageCache:
         self._entries: "OrderedDict[str, int]" = OrderedDict()
         self._used = 0
         self._evictions: List[EvictionRecord] = []
+        self._listeners: List[CacheListener] = []
+
+    # ------------------------------------------------------------------
+    # subscriptions (the hook the P2P peer index rides on)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: CacheListener) -> None:
+        """Register ``listener`` for every presence change."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: CacheListener) -> None:
+        """Drop a previously registered listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, kind: str, digest: str, size_bytes: int) -> None:
+        if not self._listeners:
+            return
+        event = CacheEvent(kind, self.device, digest, size_bytes)
+        for listener in list(self._listeners):
+            listener(event)
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -100,7 +145,8 @@ class ImageCache:
                 f"entry {digest} ({size_bytes} B) exceeds cache capacity "
                 f"{self.capacity_bytes} B on {self.device or 'device'}"
             )
-        if digest in self._entries:
+        old_size = self._entries.get(digest)
+        if old_size is not None:
             self._used -= self._entries.pop(digest)
         evicted: List[EvictionRecord] = []
         while self._used + size_bytes > self.capacity_bytes:
@@ -109,8 +155,11 @@ class ImageCache:
             record = EvictionRecord(victim, victim_size)
             evicted.append(record)
             self._evictions.append(record)
+            self._emit("evict", victim, victim_size)
         self._entries[digest] = size_bytes
         self._used += size_bytes
+        if old_size != size_bytes:
+            self._emit("add", digest, size_bytes)
         return evicted
 
     def remove(self, digest: str) -> bool:
@@ -119,11 +168,15 @@ class ImageCache:
         if size is None:
             return False
         self._used -= size
+        self._emit("remove", digest, size)
         return True
 
     def clear(self) -> None:
+        dropped = list(self._entries.items())
         self._entries.clear()
         self._used = 0
+        for digest, size in dropped:
+            self._emit("remove", digest, size)
 
     # ------------------------------------------------------------------
     # image-level queries

@@ -1,0 +1,695 @@
+"""The P2P edge tier: devices serving cached layers to each other.
+
+The paper's hybrid design stops at two registry tiers — Docker Hub and
+the regional registry.  This module adds the third tier that
+registry-starved edge deployments actually build (EdgePier-style):
+devices already holding a layer serve it to nearby peers over the
+device↔device channels of :class:`~repro.model.network.NetworkModel`,
+and a demand-driven replicator proactively spreads hot layers into
+under-provisioned regions (continuous-reasoning placement).
+
+Components
+----------
+:class:`PeerIndex`
+    Maps layer digests to the set of device caches currently holding
+    them.  Kept coherent with every :class:`~repro.registry.cache.ImageCache`
+    through the cache's subscription hook — an eviction on any device
+    is reflected in the index before the evicting call returns.
+:class:`PeerSwarm`
+    The index plus topology knowledge: device regions, peer channel
+    lookup, and the pull-demand counters the replicator consumes.
+:class:`PullPlanner` / :class:`P2PRegistry`
+    Resolve each layer of a pull from the cheapest source — local
+    cache → peer → regional registry → Docker Hub — using channel
+    bandwidths, and execute the plan against the device cache.
+:class:`AdaptiveReplicator`
+    A DES process that periodically inspects observed pull demand and
+    replicates hot layers to regions holding fewer than a target
+    number of replicas, until demand cools and the swarm converges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..model.device import Arch
+from ..model.network import NetworkModel
+from ..model.units import bytes_to_mb
+from ..sim.engine import Simulator
+from .base import ImageReference, Registry, RegistryError
+from .cache import CacheEvent, EvictionRecord, ImageCache
+from .manifest import ImageManifest
+from .repository import ManifestNotFound
+
+
+class PeerIndex:
+    """Digest → holders map, kept coherent via cache subscriptions.
+
+    The index never mutates caches; it only observes them.  Coherence
+    is event-driven: :meth:`register_cache` seeds the index from the
+    cache's current entries and subscribes a listener, after which
+    every insert/evict/remove/clear on the cache updates the index
+    synchronously.
+    """
+
+    def __init__(self) -> None:
+        self._holders: Dict[str, Set[str]] = {}
+        self._sizes: Dict[str, int] = {}
+        self._caches: Dict[str, ImageCache] = {}
+
+    def register_cache(self, device: str, cache: ImageCache) -> None:
+        """Track ``cache`` as ``device``'s; seeds and subscribes."""
+        if device in self._caches:
+            raise ValueError(f"device {device!r} already registered")
+        self._caches[device] = cache
+
+        def listener(event: CacheEvent, _device: str = device) -> None:
+            if event.kind == "add":
+                self._on_add(_device, event.digest, event.size_bytes)
+            else:  # "evict" / "remove"
+                self._on_drop(_device, event.digest)
+
+        cache.subscribe(listener)
+        for digest, size in cache.entries():
+            self._on_add(device, digest, size)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_add(self, device: str, digest: str, size_bytes: int) -> None:
+        self._holders.setdefault(digest, set()).add(device)
+        self._sizes[digest] = size_bytes
+
+    def _on_drop(self, device: str, digest: str) -> None:
+        holders = self._holders.get(digest)
+        if holders is None:
+            return
+        holders.discard(device)
+        if not holders:
+            del self._holders[digest]
+            self._sizes.pop(digest, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def holders(self, digest: str) -> FrozenSet[str]:
+        """Devices whose cache currently holds ``digest``."""
+        return frozenset(self._holders.get(digest, ()))
+
+    def holds(self, device: str, digest: str) -> bool:
+        return device in self._holders.get(digest, ())
+
+    def size_of(self, digest: str) -> Optional[int]:
+        """Last observed size of ``digest`` (None if nobody holds it)."""
+        return self._sizes.get(digest)
+
+    def devices(self) -> List[str]:
+        return list(self._caches)
+
+    def cache_of(self, device: str) -> ImageCache:
+        return self._caches[device]
+
+    def tracked_digests(self) -> List[str]:
+        return list(self._holders)
+
+    def replica_count(self, digest: str) -> int:
+        return len(self._holders.get(digest, ()))
+
+    def coherence_violations(self) -> List[str]:
+        """Index-vs-cache mismatches (must be empty; used by tests)."""
+        problems: List[str] = []
+        for device, cache in self._caches.items():
+            cached = {d for d, _ in cache.entries()}
+            indexed = {d for d, h in self._holders.items() if device in h}
+            for digest in cached - indexed:
+                problems.append(f"{device}: {digest} cached but not indexed")
+            for digest in indexed - cached:
+                problems.append(f"{device}: {digest} indexed but not cached")
+        return problems
+
+
+class PeerSwarm:
+    """A fleet of device caches acting as each other's layer sources.
+
+    Couples the :class:`PeerIndex` to the network topology (which peer
+    can reach which device, at what bandwidth), groups devices into
+    regions for the replicator, and accumulates the per-region pull
+    demand the replicator's continuous reasoning runs on.
+    """
+
+    def __init__(self, network: NetworkModel, index: Optional[PeerIndex] = None) -> None:
+        self.network = network
+        self.index = index if index is not None else PeerIndex()
+        self._regions: Dict[str, str] = {}
+        self._members: Dict[str, Set[str]] = {}
+        self._demand: Dict[Tuple[str, str], int] = {}
+        self._demand_total: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_device(
+        self, device: str, cache: ImageCache, region: str = "edge"
+    ) -> None:
+        """Join ``device`` (and its cache) to the swarm."""
+        self.index.register_cache(device, cache)
+        self._regions[device] = region
+        self._members.setdefault(region, set()).add(device)
+
+    def devices(self) -> List[str]:
+        return list(self._regions)
+
+    def regions(self) -> List[str]:
+        return sorted(self._members)
+
+    def region_of(self, device: str) -> str:
+        return self._regions[device]
+
+    def members(self, region: str) -> FrozenSet[str]:
+        return frozenset(self._members.get(region, ()))
+
+    # ------------------------------------------------------------------
+    # peer lookup
+    # ------------------------------------------------------------------
+    def best_peer(self, digest: str, device: str) -> Optional[str]:
+        """Fastest reachable peer holding ``digest`` (region first).
+
+        Same-region holders are preferred — they are the cheap LAN hop
+        a real swarm gossips over — and checked before falling back to
+        a full scan, which keeps the lookup fast in large swarms where
+        a hot layer may have hundreds of holders.
+        """
+        holders = self.index.holders(digest)
+        if not holders:
+            return None
+        region = self._regions.get(device)
+        if region is not None:
+            local = (holders & self._members.get(region, set())) - {device}
+            best = self._fastest(local, device)
+            if best is not None:
+                return best
+        return self._fastest(holders - {device}, device)
+
+    def _fastest(self, candidates: Iterable[str], device: str) -> Optional[str]:
+        best: Optional[str] = None
+        best_key: Optional[Tuple[float, str]] = None
+        for peer in candidates:
+            if not self.network.has_device_channel(peer, device):
+                continue
+            key = (-self.network.device_bandwidth_mbps(peer, device), peer)
+            if best_key is None or key < best_key:
+                best, best_key = peer, key
+        return best
+
+    # ------------------------------------------------------------------
+    # demand accounting (consumed by the adaptive replicator)
+    # ------------------------------------------------------------------
+    def record_demand(self, digest: str, device: str) -> None:
+        """Count one remote fetch of ``digest`` by ``device``."""
+        region = self._regions.get(device, "edge")
+        key = (digest, region)
+        self._demand[key] = self._demand.get(key, 0) + 1
+        self._demand_total[digest] = self._demand_total.get(digest, 0) + 1
+
+    def drain_demand(self) -> Dict[Tuple[str, str], int]:
+        """Demand accumulated since the last drain; resets counters."""
+        drained, self._demand = self._demand, {}
+        return drained
+
+    def total_demand(self, digest: str) -> int:
+        """All-time remote fetches of ``digest`` (diagnostics)."""
+        return self._demand_total.get(digest, 0)
+
+
+class SourceKind(enum.Enum):
+    """Where one layer of a pull plan comes from."""
+
+    LOCAL = "local"
+    PEER = "peer"
+    REGISTRY = "registry"
+
+
+@dataclass(frozen=True)
+class LayerSource:
+    """The resolved source of one layer."""
+
+    digest: str
+    size_bytes: int
+    kind: SourceKind
+    source: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class PullPlan:
+    """Cheapest-source resolution of one image pull onto one device."""
+
+    device: str
+    layers: Tuple[LayerSource, ...]
+
+    @property
+    def bytes_total(self) -> int:
+        return sum(l.size_bytes for l in self.layers)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Bytes that must actually move (non-local layers)."""
+        return sum(
+            l.size_bytes for l in self.layers if l.kind is not SourceKind.LOCAL
+        )
+
+    @property
+    def bytes_from_peers(self) -> int:
+        return sum(l.size_bytes for l in self.layers if l.kind is SourceKind.PEER)
+
+    def bytes_by_registry(self) -> Dict[str, int]:
+        """Registry name → bytes this plan pulls from it."""
+        out: Dict[str, int] = {}
+        for layer in self.layers:
+            if layer.kind is SourceKind.REGISTRY:
+                out[layer.source] = out.get(layer.source, 0) + layer.size_bytes
+        return out
+
+    @property
+    def seconds(self) -> float:
+        """Estimated transfer time (layers fetched sequentially)."""
+        return sum(l.seconds for l in self.layers)
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.bytes_transferred == 0
+
+
+class PullPlanner:
+    """Resolves layers to their cheapest source by transfer time.
+
+    Sources are compared by estimated seconds on the respective
+    channel; ties prefer peers over registries (offloading the origin
+    tiers is the point of the swarm) and earlier registries in the
+    fallback chain over later ones (the chain is ordered regional →
+    hub by convention).
+    """
+
+    def __init__(
+        self,
+        swarm: PeerSwarm,
+        registries: Sequence[Registry],
+        use_peers: bool = True,
+    ) -> None:
+        if not registries:
+            raise ValueError("pull planner needs at least one registry")
+        self.swarm = swarm
+        self.registries = list(registries)
+        self.use_peers = use_peers
+
+    def plan(
+        self, manifest: ImageManifest, device: str, cache: ImageCache
+    ) -> PullPlan:
+        network = self.swarm.network
+        sources: List[LayerSource] = []
+        for layer in manifest.layers:
+            if layer.digest in cache:
+                sources.append(
+                    LayerSource(
+                        layer.digest, layer.size_bytes, SourceKind.LOCAL, device, 0.0
+                    )
+                )
+                continue
+            size_mb = bytes_to_mb(layer.size_bytes)
+            best: Optional[LayerSource] = None
+            if self.use_peers:
+                peer = self.swarm.best_peer(layer.digest, device)
+                if peer is not None:
+                    seconds = network.device_channel(peer, device).transfer_time_s(
+                        size_mb
+                    )
+                    best = LayerSource(
+                        layer.digest, layer.size_bytes, SourceKind.PEER, peer, seconds
+                    )
+            for registry in self.registries:
+                if layer.digest not in registry.blobs:
+                    continue
+                if not network.has_registry_channel(registry.name, device):
+                    continue
+                seconds = network.registry_channel(
+                    registry.name, device
+                ).transfer_time_s(size_mb)
+                if best is None or seconds < best.seconds:
+                    best = LayerSource(
+                        layer.digest,
+                        layer.size_bytes,
+                        SourceKind.REGISTRY,
+                        registry.name,
+                        seconds,
+                    )
+            if best is None:
+                raise RegistryError(
+                    f"layer {layer.digest} unreachable from {device!r}: no "
+                    f"peer or registry source"
+                )
+            sources.append(best)
+        return PullPlan(device=device, layers=tuple(sources))
+
+
+@dataclass(frozen=True)
+class P2PPullResult:
+    """Outcome of one three-tier pull (mirrors ``PullResult``'s API)."""
+
+    reference: ImageReference
+    registry: str
+    manifest: ImageManifest
+    device: str
+    plan: PullPlan
+    evictions: Tuple[EvictionRecord, ...] = ()
+
+    @property
+    def bytes_total(self) -> int:
+        return self.plan.bytes_total
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.plan.bytes_transferred
+
+    @property
+    def bytes_from_peers(self) -> int:
+        return self.plan.bytes_from_peers
+
+    def bytes_by_registry(self) -> Dict[str, int]:
+        return self.plan.bytes_by_registry()
+
+    @property
+    def seconds(self) -> float:
+        return self.plan.seconds
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.plan.cache_hit
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.bytes_total == 0:
+            return 1.0
+        return 1.0 - self.bytes_transferred / self.bytes_total
+
+
+class P2PRegistry:
+    """Three-tier pull facade: local cache → peer swarm → registries.
+
+    Presents the same resolve/pull shape as a single registry while
+    internally fanning each layer out to its cheapest source.  The
+    registry chain is preference-ordered (regional before hub); tag
+    resolution walks the chain and uses the first registry that can
+    serve the reference, so hub-only images still resolve.
+    """
+
+    def __init__(
+        self,
+        swarm: PeerSwarm,
+        registries: Sequence[Registry],
+        name: str = "p2p",
+        use_peers: bool = True,
+    ) -> None:
+        self.swarm = swarm
+        self.name = name
+        self.planner = PullPlanner(swarm, registries, use_peers=use_peers)
+
+    @property
+    def registries(self) -> List[Registry]:
+        return self.planner.registries
+
+    def resolve(
+        self, reference: ImageReference, arch: Arch
+    ) -> Tuple[Registry, ImageManifest]:
+        """First registry in the chain that resolves ``reference``."""
+        last_error: Optional[Exception] = None
+        for registry in self.planner.registries:
+            try:
+                return registry, registry.resolve(reference, arch)
+            except (ManifestNotFound, KeyError) as exc:
+                last_error = exc
+        raise ManifestNotFound(
+            f"{reference} not resolvable by any of "
+            f"{[r.name for r in self.planner.registries]}"
+        ) from last_error
+
+    def plan(
+        self, reference: ImageReference, arch: Arch, device: str, cache: ImageCache
+    ) -> PullPlan:
+        _, manifest = self.resolve(reference, arch)
+        return self.planner.plan(manifest, device, cache)
+
+    def pull(
+        self,
+        reference: ImageReference,
+        arch: Arch,
+        device: str,
+        cache: ImageCache,
+        now_s: float = 0.0,
+    ) -> P2PPullResult:
+        """Resolve, plan, verify sources, and admit layers into ``cache``.
+
+        Demand is recorded against the swarm for every layer that had
+        to move (local hits need no replication), which is the signal
+        the adaptive replicator consumes.
+        """
+        resolved_registry, manifest = self.resolve(reference, arch)
+        plan = self.planner.plan(manifest, device, cache)
+        # Meter the registries that actually serve bytes (mirrors the
+        # two-tier client: cache hits and peer-served pulls don't burn
+        # hub rate-limit tokens — offloading them is the tier's point).
+        served = {
+            layer.source
+            for layer in plan.layers
+            if layer.kind is SourceKind.REGISTRY
+        }
+        for registry in self.planner.registries:
+            if registry.name in served:
+                registry.meter_pull(device, now_s)
+        # Integrity: every non-local source must actually hold the layer.
+        for layer in plan.layers:
+            if layer.kind is SourceKind.REGISTRY:
+                registry = next(
+                    r for r in self.planner.registries if r.name == layer.source
+                )
+                registry.fetch_blob(layer.digest)
+            elif layer.kind is SourceKind.PEER:
+                if not self.swarm.index.holds(layer.source, layer.digest):
+                    raise RegistryError(
+                        f"peer index incoherent: {layer.source!r} no longer "
+                        f"holds {layer.digest}"
+                    )
+        # admit_image (not a bare add loop) keeps the CacheFull guard
+        # and the an-image-cannot-evict-itself guarantee of the
+        # two-tier client's pull path.
+        evictions = list(cache.admit_image(manifest))
+        for layer in plan.layers:
+            if layer.kind is not SourceKind.LOCAL:
+                self.swarm.record_demand(layer.digest, device)
+        return P2PPullResult(
+            reference=reference,
+            registry=resolved_registry.name,
+            manifest=manifest,
+            device=device,
+            plan=plan,
+            evictions=tuple(evictions),
+        )
+
+
+@dataclass(frozen=True)
+class ReplicationAction:
+    """One proactive layer copy performed by the replicator."""
+
+    digest: str
+    region: str
+    target: str
+    source: str
+    size_bytes: int
+    #: Estimated transfer time of the copy over the source→target
+    #: channel (replication runs in the background; this is reported
+    #: so its traffic is never mistaken for free).
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReplicatorCycle:
+    """What one replication cycle saw and did."""
+
+    time_s: float
+    hot_digests: Tuple[str, ...]
+    actions: Tuple[ReplicationAction, ...]
+    replica_counts: Dict[str, int]
+
+
+class AdaptiveReplicator:
+    """Demand-driven hot-layer replication, run as a DES process.
+
+    Every ``interval_s`` simulated seconds the replicator drains the
+    swarm's demand counters into an exponentially decayed score per
+    (digest, region).  Digests whose *swarm-wide* score reaches
+    ``hot_threshold`` are hot; every region then holding fewer than
+    ``target_replicas`` copies is under-provisioned and receives one —
+    copied into the cache of the member with the most free space.
+    The anticipation is the point: a layer that went hot in one region
+    is replicated into the others *before* they ask, so their first
+    pull is already a LAN-speed peer hit.  Copies go through the
+    ordinary cache insert, so the peer index stays coherent and cold
+    layers can be evicted by the copy like any other insert.
+
+    Convergence is observable: once demand cools, cycles perform zero
+    actions and :meth:`converged` turns true.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        swarm: PeerSwarm,
+        interval_s: float = 60.0,
+        hot_threshold: float = 3.0,
+        target_replicas: int = 2,
+        decay: float = 0.5,
+        max_actions_per_cycle: int = 64,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if target_replicas < 1:
+            raise ValueError(f"target_replicas must be >= 1, got {target_replicas}")
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        self.sim = sim
+        self.swarm = swarm
+        self.interval_s = interval_s
+        self.hot_threshold = hot_threshold
+        self.target_replicas = target_replicas
+        self.decay = decay
+        self.max_actions_per_cycle = max_actions_per_cycle
+        self.history: List[ReplicatorCycle] = []
+        self.bytes_replicated = 0
+        self._scores: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # the DES process
+    # ------------------------------------------------------------------
+    def process(self, cycles: Optional[int] = None):
+        """Generator to hand to ``sim.process`` (None = run forever)."""
+        done = 0
+        while cycles is None or done < cycles:
+            yield self.sim.timeout(self.interval_s)
+            self.run_cycle()
+            done += 1
+
+    # ------------------------------------------------------------------
+    # one cycle of continuous reasoning
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> ReplicatorCycle:
+        """Drain demand, refresh scores, replicate, record history."""
+        fresh = self.swarm.drain_demand()
+        scores: Dict[Tuple[str, str], float] = {}
+        for key, score in self._scores.items():
+            decayed = score * self.decay
+            if decayed >= 0.01:
+                scores[key] = decayed
+        for key, count in fresh.items():
+            scores[key] = scores.get(key, 0.0) + count
+        self._scores = scores
+
+        swarm_score: Dict[str, float] = {}
+        for (digest, _region), score in scores.items():
+            swarm_score[digest] = swarm_score.get(digest, 0.0) + score
+        hot = sorted(
+            (d for d, score in swarm_score.items() if score >= self.hot_threshold),
+            key=lambda d: (-swarm_score[d], d),
+        )
+        actions: List[ReplicationAction] = []
+        for digest in hot:
+            if len(actions) >= self.max_actions_per_cycle:
+                break
+            for region in self.swarm.regions():
+                if len(actions) >= self.max_actions_per_cycle:
+                    break
+                action = self._replicate(digest, region)
+                if action is not None:
+                    actions.append(action)
+
+        cycle = ReplicatorCycle(
+            time_s=self.sim.now,
+            hot_digests=tuple(hot),
+            actions=tuple(actions),
+            replica_counts={
+                digest: self.swarm.index.replica_count(digest) for digest in hot
+            },
+        )
+        self.history.append(cycle)
+        return cycle
+
+    def _replicate(self, digest: str, region: str) -> Optional[ReplicationAction]:
+        index = self.swarm.index
+        holders = index.holders(digest)
+        if not holders:
+            return None  # nobody to copy from; the next pull will seed it
+        in_region = holders & self.swarm.members(region)
+        if len(in_region) >= self.target_replicas:
+            return None
+        size = index.size_of(digest)
+        if size is None:
+            return None
+        candidates = sorted(
+            (
+                member
+                for member in self.swarm.members(region)
+                if member not in holders
+            ),
+            key=lambda m: (-index.cache_of(m).free_bytes, m),
+        )
+        for target in candidates:
+            cache = index.cache_of(target)
+            if size > cache.capacity_bytes:
+                continue
+            # A copy needs a real channel from some holder: a region no
+            # holder can reach cannot be provisioned peer-to-peer (its
+            # first pull will seed it from a registry instead).
+            source = self.swarm._fastest(holders, target)
+            if source is None:
+                continue
+            seconds = self.swarm.network.device_channel(
+                source, target
+            ).transfer_time_s(bytes_to_mb(size))
+            cache.add(digest, size)  # updates the peer index via the hook
+            self.bytes_replicated += size
+            return ReplicationAction(
+                digest=digest,
+                region=region,
+                target=target,
+                source=source,
+                size_bytes=size,
+                seconds=seconds,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # convergence diagnostics
+    # ------------------------------------------------------------------
+    def converged(self, quiet_cycles: int = 3) -> bool:
+        """True when the last ``quiet_cycles`` cycles did nothing."""
+        if len(self.history) < quiet_cycles:
+            return False
+        return all(
+            not cycle.actions for cycle in self.history[-quiet_cycles:]
+        )
+
+    def replica_trajectory(self, digest: str) -> List[int]:
+        """Replica count of ``digest`` after each recorded cycle.
+
+        Cycles in which the digest was not hot carry the last known
+        count forward (the replicator only measures what it looks at).
+        """
+        out: List[int] = []
+        last = 0
+        for cycle in self.history:
+            last = cycle.replica_counts.get(digest, last)
+            out.append(last)
+        return out
+
+    def total_actions(self) -> int:
+        return sum(len(cycle.actions) for cycle in self.history)

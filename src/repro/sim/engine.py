@@ -71,17 +71,29 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         if self.triggered:  # already finished (e.g. interrupted then done)
+            # A failure aimed at a finished process (an interrupt that
+            # raced with completion) has no one left to handle it;
+            # consume it so run() doesn't crash a healthy simulation.
+            if not event.ok:
+                event.mark_consumed()
             return
         if self._target is not None and event is not self._target:
             # A stale wake-up (interrupt raced with the awaited event):
             # only deliver interrupts; ignore anything else.
             if not isinstance(event.value, Interrupt):
+                if not event.ok:
+                    event.mark_consumed()  # abandoned by its only waiter
                 return
         self._target = None
         try:
             if event.ok:
                 next_event = self._generator.send(event.value)
             else:
+                # The failure is being delivered into a generator: it is
+                # consumed here whether or not the generator survives it
+                # (if it doesn't, the exception propagates out of this
+                # frame and run() re-raises it directly).
+                event.mark_consumed()
                 next_event = self._generator.throw(event.value)
         except StopIteration as stop:
             self.succeed(stop.value)
@@ -115,8 +127,18 @@ class AllOf(Event):
 
     def _on_child(self, child: Event) -> None:
         if self.triggered:
+            # Barrier already fired (necessarily as a failure — success
+            # requires every child to have succeeded).  A later failing
+            # child is still adopted by the barrier: consume it so it
+            # cannot re-raise from run() behind the waiter's back.
+            if not child.ok:
+                child.mark_consumed()
             return
         if not child.ok:
+            # The barrier adopts the child's failure: the child is
+            # consumed here, and whether the failure is ultimately
+            # handled is decided by whoever waits on the barrier.
+            child.mark_consumed()
             self.fail(child.value)
             return
         self._remaining -= 1

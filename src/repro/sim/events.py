@@ -22,7 +22,15 @@ class Event:
     twice is an error; waiting on a processed event fires immediately.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_consumed",
+    )
 
     def __init__(self, env: "EventQueue") -> None:
         self.env = env
@@ -31,6 +39,15 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._consumed = False
+
+    def mark_consumed(self) -> None:
+        """Record that this event's failure was delivered to a waiter.
+
+        A consumed failure is handled (e.g. an ``Interrupt`` caught by
+        its target process) and must not re-raise from ``run()``.
+        """
+        self._consumed = True
 
     @property
     def triggered(self) -> bool:

@@ -1,0 +1,52 @@
+"""Regression tests for :func:`repro.game.zero_sum.solve_zero_sum`.
+
+The Hypothesis database surfaced a matrix of tiny positive payoffs
+(~6.7e-133) on which the maximin LP was handed to HiGHS unshifted: the
+constraint ``shiftedᵀu >= 1`` then needs astronomically large ``u`` and
+the solver reports infeasibility.  The fix normalises every matrix so
+its minimum entry is 1 before solving and subtracts the shift back.
+"""
+
+import numpy as np
+import pytest
+
+from repro.game import NormalFormGame, solve_zero_sum
+
+#: The falsifying example recorded by Hypothesis (2026-07-26 run).
+TINY = 6.66637074e-133
+
+
+def test_all_tiny_positive_matrix_is_solvable():
+    g = NormalFormGame(np.full((3, 3), TINY))
+    sol = solve_zero_sum(g)
+    assert np.isclose(sol.row_strategy.sum(), 1.0)
+    assert np.isclose(sol.col_strategy.sum(), 1.0)
+    # Constant game: the value is the constant itself (to fp precision).
+    assert sol.value == pytest.approx(TINY, abs=1e-9)
+
+
+@pytest.mark.parametrize("scale", [1.0, 1e3, 1e6])
+def test_scaled_matching_pennies_value_zero(scale):
+    pennies = scale * np.array([[1.0, -1.0], [-1.0, 1.0]])
+    sol = solve_zero_sum(NormalFormGame(pennies))
+    assert sol.value == pytest.approx(0.0, abs=scale * 1e-6)
+    np.testing.assert_allclose(sol.row_strategy, [0.5, 0.5], atol=1e-6)
+
+
+@pytest.mark.parametrize("scale", [1e-300, 1e-133, 1e-9])
+def test_tiny_scale_games_stay_solvable(scale):
+    # Below LP precision the payoffs are indistinguishable from a
+    # constant game after the shift; all we require is that the LP
+    # stays feasible and the value collapses to ~0 in absolute terms.
+    pennies = scale * np.array([[1.0, -1.0], [-1.0, 1.0]])
+    sol = solve_zero_sum(NormalFormGame(pennies))
+    assert sol.value == pytest.approx(0.0, abs=1e-6)
+    assert np.isclose(sol.row_strategy.sum(), 1.0)
+
+
+def test_small_positive_constant_shift_round_trip():
+    # min < 1 but positive: the shift must be applied and removed.
+    g = NormalFormGame(np.array([[0.25, 0.75], [0.5, 0.25]]))
+    sol = solve_zero_sum(g)
+    worst = min(float(sol.row_strategy @ g.A[:, j]) for j in range(g.n_cols))
+    assert worst >= sol.value - 1e-7

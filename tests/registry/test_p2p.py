@@ -1,0 +1,419 @@
+"""Tests for the P2P tier: peer index, pull planner, and replicator."""
+
+import pytest
+
+from repro.model.device import Arch
+from repro.model.network import NetworkModel
+from repro.model.units import BYTES_PER_GB
+from repro.registry.base import ImageReference, RegistryError
+from repro.registry.cache import ImageCache
+from repro.registry.digest import digest_text
+from repro.registry.hub import DockerHub
+from repro.registry.images import OFFICIAL_BASES, build_image
+from repro.registry.manifest import ImageManifest, LayerDescriptor
+from repro.registry.minio import MinioStore
+from repro.registry.p2p import (
+    AdaptiveReplicator,
+    P2PRegistry,
+    PeerIndex,
+    PeerSwarm,
+    PullPlanner,
+    SourceKind,
+)
+from repro.registry.regional import RegionalRegistry
+from repro.sim.engine import Simulator
+
+
+def small_cache(capacity_bytes: int, device: str) -> ImageCache:
+    return ImageCache(capacity_bytes / BYTES_PER_GB, device)
+
+
+D = [digest_text(f"p2p-layer-{i}") for i in range(6)]
+
+
+# ----------------------------------------------------------------------
+# PeerIndex coherence
+# ----------------------------------------------------------------------
+class TestPeerIndex:
+    def test_seeds_from_existing_entries(self):
+        cache = small_cache(100, "a")
+        cache.add(D[0], 10)
+        index = PeerIndex()
+        index.register_cache("a", cache)
+        assert index.holders(D[0]) == {"a"}
+        assert index.size_of(D[0]) == 10
+
+    def test_add_and_remove_flow_through(self):
+        index = PeerIndex()
+        a, b = small_cache(100, "a"), small_cache(100, "b")
+        index.register_cache("a", a)
+        index.register_cache("b", b)
+        a.add(D[0], 10)
+        b.add(D[0], 10)
+        assert index.holders(D[0]) == {"a", "b"}
+        a.remove(D[0])
+        assert index.holders(D[0]) == {"b"}
+        b.clear()
+        assert index.holders(D[0]) == frozenset()
+        assert index.size_of(D[0]) is None
+        assert index.coherence_violations() == []
+
+    def test_coherent_under_lru_evictions(self):
+        index = PeerIndex()
+        cache = small_cache(30, "a")
+        index.register_cache("a", cache)
+        cache.add(D[0], 10)
+        cache.add(D[1], 10)
+        cache.add(D[2], 10)
+        # Inserting D[3] must evict D[0] (LRU) and the index must see it.
+        cache.add(D[3], 15)
+        assert not index.holds("a", D[0])
+        assert index.holds("a", D[3])
+        assert index.coherence_violations() == []
+
+    def test_coherent_under_concurrent_evictions_across_devices(self):
+        # Several devices churning at once: the index must track every
+        # cache exactly, including cascaded evictions from admissions.
+        index = PeerIndex()
+        caches = {name: small_cache(25, name) for name in ("a", "b", "c")}
+        for name, cache in caches.items():
+            index.register_cache(name, cache)
+        for step in range(40):
+            name = ("a", "b", "c")[step % 3]
+            caches[name].add(D[step % len(D)], 5 + (step % 3) * 7)
+            assert index.coherence_violations() == []
+
+    def test_double_registration_rejected(self):
+        index = PeerIndex()
+        index.register_cache("a", small_cache(100, "a"))
+        with pytest.raises(ValueError):
+            index.register_cache("a", small_cache(100, "a"))
+
+
+# ----------------------------------------------------------------------
+# PeerSwarm lookup
+# ----------------------------------------------------------------------
+class TestPeerSwarm:
+    def make_swarm(self):
+        network = NetworkModel()
+        network.connect_device_mesh(["a", "b"], 800.0)   # region r0 LAN
+        network.connect_devices("a", "c", 100.0)          # cross-region
+        network.connect_devices("b", "c", 50.0)
+        swarm = PeerSwarm(network)
+        for name, region in (("a", "r0"), ("b", "r0"), ("c", "r1")):
+            swarm.add_device(name, small_cache(1000, name), region=region)
+        return swarm
+
+    def test_best_peer_prefers_same_region(self):
+        swarm = self.make_swarm()
+        swarm.index.cache_of("b").add(D[0], 10)
+        swarm.index.cache_of("c").add(D[0], 10)
+        # From a: b (same region, 800 Mbps) beats c (100 Mbps).
+        assert swarm.best_peer(D[0], "a") == "b"
+
+    def test_best_peer_falls_back_across_regions(self):
+        swarm = self.make_swarm()
+        swarm.index.cache_of("c").add(D[0], 10)
+        assert swarm.best_peer(D[0], "a") == "c"
+
+    def test_no_holder_no_peer(self):
+        swarm = self.make_swarm()
+        assert swarm.best_peer(D[0], "a") is None
+
+    def test_requester_is_never_its_own_peer(self):
+        swarm = self.make_swarm()
+        swarm.index.cache_of("a").add(D[0], 10)
+        assert swarm.best_peer(D[0], "a") is None
+
+    def test_demand_drain_resets(self):
+        swarm = self.make_swarm()
+        swarm.record_demand(D[0], "a")
+        swarm.record_demand(D[0], "a")
+        swarm.record_demand(D[0], "c")
+        assert swarm.drain_demand() == {(D[0], "r0"): 2, (D[0], "r1"): 1}
+        assert swarm.drain_demand() == {}
+        assert swarm.total_demand(D[0]) == 3
+
+
+# ----------------------------------------------------------------------
+# PullPlanner source selection against hand-computed cheapest paths
+# ----------------------------------------------------------------------
+class TestPullPlanner:
+    def build(self):
+        """One image, three layers, known bandwidths.
+
+        Layer sizes: 100 MB each (100_000_000 B → 100 MB → 800 Mbit).
+        Channels: peer 800 Mbps (1.0 s), regional 200 Mbps (4.0 s),
+        hub 80 Mbps (10.0 s).  No RTTs, so seconds are exact.
+        """
+        layers = tuple(LayerDescriptor(D[i], 100_000_000) for i in range(3))
+        manifest = ImageManifest(
+            arch=Arch.AMD64, config_digest=digest_text("cfg"), layers=layers
+        )
+        hub = DockerHub(name="hub")
+        regional = RegionalRegistry(name="reg", store=MinioStore(capacity_gb=10.0))
+        from repro.registry.blobstore import BlobRecord
+
+        for registry in (hub, regional):
+            for layer in layers:
+                registry.blobs.put_record(
+                    BlobRecord(digest=layer.digest, size_bytes=layer.size_bytes)
+                )
+        network = NetworkModel()
+        network.connect_devices("dev", "peer", 800.0)
+        network.connect_registry("reg", "dev", 200.0)
+        network.connect_registry("hub", "dev", 80.0)
+        swarm = PeerSwarm(network)
+        swarm.add_device("dev", small_cache(BYTES_PER_GB, "dev"), region="r0")
+        swarm.add_device("peer", small_cache(BYTES_PER_GB, "peer"), region="r0")
+        return manifest, hub, regional, swarm
+
+    def test_local_beats_everything(self):
+        manifest, hub, regional, swarm = self.build()
+        cache = swarm.index.cache_of("dev")
+        cache.add(D[0], 100_000_000)
+        plan = PullPlanner(swarm, [regional, hub]).plan(manifest, "dev", cache)
+        assert plan.layers[0].kind is SourceKind.LOCAL
+        assert plan.layers[0].seconds == 0.0
+
+    def test_peer_beats_regional_beats_hub(self):
+        manifest, hub, regional, swarm = self.build()
+        swarm.index.cache_of("peer").add(D[1], 100_000_000)
+        cache = swarm.index.cache_of("dev")
+        plan = PullPlanner(swarm, [regional, hub]).plan(manifest, "dev", cache)
+        by_digest = {l.digest: l for l in plan.layers}
+        # D[1]: peer at 800 Mbps → 1.0 s.
+        assert by_digest[D[1]].kind is SourceKind.PEER
+        assert by_digest[D[1]].source == "peer"
+        assert by_digest[D[1]].seconds == pytest.approx(1.0)
+        # D[0], D[2]: regional at 200 Mbps → 4.0 s (hub would be 10.0 s).
+        for d in (D[0], D[2]):
+            assert by_digest[d].kind is SourceKind.REGISTRY
+            assert by_digest[d].source == "reg"
+            assert by_digest[d].seconds == pytest.approx(4.0)
+        assert plan.seconds == pytest.approx(1.0 + 4.0 + 4.0)
+        assert plan.bytes_from_peers == 100_000_000
+        assert plan.bytes_by_registry() == {"reg": 200_000_000}
+
+    def test_slow_peer_loses_to_fast_registry(self):
+        manifest, hub, regional, swarm = self.build()
+        # Replace the peer link with a slow one: 40 Mbps → 20 s.
+        network = swarm.network
+        network.connect_devices("dev", "peer", 40.0)
+        swarm.index.cache_of("peer").add(D[1], 100_000_000)
+        cache = swarm.index.cache_of("dev")
+        plan = PullPlanner(swarm, [regional, hub]).plan(manifest, "dev", cache)
+        by_digest = {l.digest: l for l in plan.layers}
+        assert by_digest[D[1]].kind is SourceKind.REGISTRY
+        assert by_digest[D[1]].source == "reg"
+
+    def test_hub_only_chain_uses_hub(self):
+        manifest, hub, _regional, swarm = self.build()
+        cache = swarm.index.cache_of("dev")
+        plan = PullPlanner(swarm, [hub]).plan(manifest, "dev", cache)
+        assert all(l.source == "hub" for l in plan.layers)
+        assert plan.seconds == pytest.approx(30.0)
+
+    def test_unreachable_layer_raises(self):
+        manifest, hub, _regional, swarm = self.build()
+        network = NetworkModel()  # no channels at all
+        isolated = PeerSwarm(network)
+        isolated.add_device("dev", small_cache(BYTES_PER_GB, "dev"))
+        with pytest.raises(RegistryError):
+            PullPlanner(isolated, [hub]).plan(
+                manifest, "dev", isolated.index.cache_of("dev")
+            )
+
+
+# ----------------------------------------------------------------------
+# P2PRegistry pulls
+# ----------------------------------------------------------------------
+class TestP2PRegistry:
+    def build(self):
+        hub = DockerHub(name="hub")
+        mlist, blobs = build_image(
+            "acme/app", 0.4, base=OFFICIAL_BASES["python:3.9-slim"]
+        )
+        hub.push_image("acme/app", "latest", mlist, blobs)
+        network = NetworkModel()
+        network.connect_devices("a", "b", 800.0)
+        for dev in ("a", "b"):
+            network.connect_registry("hub", dev, 80.0)
+        swarm = PeerSwarm(network)
+        for dev in ("a", "b"):
+            swarm.add_device(dev, ImageCache(8.0, dev), region="r0")
+        return hub, swarm, P2PRegistry(swarm, [hub])
+
+    def test_first_pull_from_registry_second_from_peer(self):
+        _hub, swarm, facade = self.build()
+        ref = ImageReference("acme/app")
+        first = facade.pull(ref, Arch.AMD64, "a", swarm.index.cache_of("a"))
+        assert first.bytes_from_peers == 0
+        assert first.bytes_by_registry() == {"hub": first.bytes_transferred}
+        second = facade.pull(ref, Arch.AMD64, "b", swarm.index.cache_of("b"))
+        assert second.bytes_by_registry() == {}
+        assert second.bytes_from_peers == second.bytes_transferred > 0
+        # And a's repeat pull is a pure cache hit.
+        third = facade.pull(ref, Arch.AMD64, "a", swarm.index.cache_of("a"))
+        assert third.cache_hit
+
+    def test_pull_records_demand_for_transferred_layers(self):
+        _hub, swarm, facade = self.build()
+        ref = ImageReference("acme/app")
+        result = facade.pull(ref, Arch.AMD64, "a", swarm.index.cache_of("a"))
+        drained = swarm.drain_demand()
+        assert sum(drained.values()) == len(result.plan.layers)
+
+    def test_peer_served_pulls_are_not_metered_against_the_hub(self):
+        from repro.registry.hub import PullRateLimiter
+
+        hub = DockerHub(name="hub", rate_limiter=PullRateLimiter(limit=1))
+        mlist, blobs = build_image(
+            "acme/app", 0.4, base=OFFICIAL_BASES["python:3.9-slim"]
+        )
+        hub.push_image("acme/app", "latest", mlist, blobs)
+        network = NetworkModel()
+        network.connect_devices("a", "b", 800.0)
+        for dev in ("a", "b"):
+            network.connect_registry("hub", dev, 80.0)
+        swarm = PeerSwarm(network)
+        for dev in ("a", "b"):
+            swarm.add_device(dev, ImageCache(8.0, dev), region="r0")
+        facade = P2PRegistry(swarm, [hub])
+        ref = ImageReference("acme/app")
+        facade.pull(ref, Arch.AMD64, "a", swarm.index.cache_of("a"))
+        # b's pull is fully peer-served: with a 1-pull hub limit it must
+        # NOT consume a token (the tier's offloading promise).
+        result = facade.pull(ref, Arch.AMD64, "b", swarm.index.cache_of("b"))
+        assert result.bytes_from_peers == result.bytes_transferred > 0
+
+    def test_oversized_image_raises_cache_full(self):
+        # The three-tier pull keeps the two-tier client's CacheFull
+        # guard: a pull that cannot fit must fail, not half-admit.
+        hub, swarm, facade = self.build()
+        ref = ImageReference("acme/app")
+        tiny = ImageCache(0.05, "tiny")  # 50 MB < the 0.4 GB image
+        swarm.index.register_cache("tiny", tiny)
+        from repro.registry.cache import CacheFull
+
+        with pytest.raises(CacheFull):
+            facade.pull(ref, Arch.AMD64, "a", tiny)
+        assert len(tiny) == 0  # nothing half-admitted
+        assert swarm.index.coherence_violations() == []
+
+    def test_unknown_reference_raises(self):
+        _hub, _swarm, facade = self.build()
+        from repro.registry.repository import ManifestNotFound
+
+        with pytest.raises(ManifestNotFound):
+            facade.pull(
+                ImageReference("acme/nope"),
+                Arch.AMD64,
+                "a",
+                facade.swarm.index.cache_of("a"),
+            )
+
+
+# ----------------------------------------------------------------------
+# AdaptiveReplicator
+# ----------------------------------------------------------------------
+class TestAdaptiveReplicator:
+    def build(self, regions=("r0", "r1"), per_region=2):
+        network = NetworkModel()
+        names = []
+        for r, region in enumerate(regions):
+            members = [f"{region}-d{i}" for i in range(per_region)]
+            names.extend((m, region) for m in members)
+            if len(members) > 1:
+                network.connect_device_mesh(members, 800.0)
+        # Cross-region links so replication sources resolve.
+        all_names = [n for n, _ in names]
+        for i, a in enumerate(all_names):
+            for b in all_names[i + 1:]:
+                if not network.has_device_channel(a, b):
+                    network.connect_devices(a, b, 100.0)
+        swarm = PeerSwarm(network)
+        for name, region in names:
+            swarm.add_device(name, small_cache(1000, name), region=region)
+        sim = Simulator()
+        replicator = AdaptiveReplicator(
+            sim, swarm, interval_s=10.0, hot_threshold=3.0, target_replicas=1
+        )
+        return sim, swarm, replicator
+
+    def test_hot_layer_replicated_to_empty_region(self):
+        sim, swarm, replicator = self.build()
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(3):
+            swarm.record_demand(D[0], "r0-d1")
+        cycle = replicator.run_cycle()
+        assert D[0] in cycle.hot_digests
+        # r1 had zero replicas and target is 1: exactly one copy lands.
+        r1_holders = swarm.index.holders(D[0]) & swarm.members("r1")
+        assert len(r1_holders) == 1
+        assert replicator.bytes_replicated == 50
+        assert swarm.index.coherence_violations() == []
+
+    def test_cold_layers_not_replicated(self):
+        _sim, swarm, replicator = self.build()
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        swarm.record_demand(D[0], "r0-d1")  # below threshold
+        cycle = replicator.run_cycle()
+        assert cycle.actions == ()
+
+    def test_converges_once_demand_stops(self):
+        sim, swarm, replicator = self.build()
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(5):
+            swarm.record_demand(D[0], "r0-d1")
+        sim.process(replicator.process(cycles=6))
+        sim.run()
+        assert replicator.total_actions() >= 1
+        assert replicator.converged(quiet_cycles=3)
+        # Replica counts stabilised at >= target in every region.
+        for region in swarm.regions():
+            assert swarm.index.holders(D[0]) & swarm.members(region)
+
+    def test_unreachable_region_is_not_provisioned(self):
+        # Two regions with NO inter-region channels: replication into
+        # the isolated region must be skipped, not teleported.
+        network = NetworkModel()
+        network.connect_device_mesh(["r0-d0", "r0-d1"], 800.0)
+        network.connect_device_mesh(["r1-d0", "r1-d1"], 800.0)
+        swarm = PeerSwarm(network)
+        for name in ("r0-d0", "r0-d1", "r1-d0", "r1-d1"):
+            swarm.add_device(name, small_cache(1000, name), region=name[:2])
+        sim = Simulator()
+        replicator = AdaptiveReplicator(
+            sim, swarm, interval_s=10.0, hot_threshold=3.0, target_replicas=1
+        )
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(5):
+            swarm.record_demand(D[0], "r0-d1")
+        cycle = replicator.run_cycle()
+        assert all(action.region != "r1" for action in cycle.actions)
+        assert not (swarm.index.holders(D[0]) & swarm.members("r1"))
+
+    def test_actions_carry_transfer_seconds(self):
+        _sim, swarm, replicator = self.build()
+        swarm.index.cache_of("r0-d0").add(D[0], 500)
+        for _ in range(3):
+            swarm.record_demand(D[0], "r0-d1")
+        cycle = replicator.run_cycle()
+        assert cycle.actions
+        for action in cycle.actions:
+            # 100 MB over a real channel: strictly positive time.
+            assert action.seconds > 0.0
+
+    def test_replication_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            sim, swarm, replicator = self.build(per_region=3)
+            swarm.index.cache_of("r0-d0").add(D[0], 50)
+            for _ in range(4):
+                swarm.record_demand(D[0], "r0-d2")
+            replicator.run_cycle()
+            outcomes.append(
+                [(a.digest, a.region, a.target) for c in replicator.history for a in c.actions]
+            )
+        assert outcomes[0] == outcomes[1]
