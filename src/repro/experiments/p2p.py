@@ -16,6 +16,13 @@ hot images dominate — the regime where EdgePier-style peer
 distribution pays off.  The headline metric is *origin traffic*: bytes
 pulled from hub + regional.  The P2P tier strictly lowers it because
 every layer already cached anywhere in a region can be served locally.
+
+Modeling note: like the paper's two-tier pull model, cache admission
+is instantaneous at pull start (the transfer's duration is slept
+*after* accounting), so overlapping pulls can plan peer fetches from
+layers still in flight.  This makes the reported P2P savings
+optimistic under heavy pull overlap; modeling in-flight transfers is
+a recorded follow-on (see ROADMAP "Registry tiers").
 """
 
 from __future__ import annotations

@@ -54,6 +54,14 @@ def _maximin(payoff: np.ndarray) -> Tuple[np.ndarray, float]:
         b_ub=-np.ones(n),
         bounds=[(0, None)] * m,
         method="highs",
+        # HiGHS's default ~1e-7 feasibility tolerance leaks into the
+        # recovered strategies (the guaranteed-value property and the
+        # duality check both compare at ~1e-7); solve tight so the
+        # back-transformed solution is exact to ~1e-15.
+        options={
+            "primal_feasibility_tolerance": 1e-10,
+            "dual_feasibility_tolerance": 1e-10,
+        },
     )
     if not result.success:  # pragma: no cover - LP on bounded polytope
         raise RuntimeError(f"zero-sum LP failed: {result.message}")

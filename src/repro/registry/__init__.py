@@ -44,30 +44,27 @@ __all__ = [
     "CacheEvent",
     "CacheFull",
     "DockerHub",
-    "LayerSource",
-    "P2PPullResult",
-    "P2PRegistry",
-    "PeerIndex",
-    "PeerSwarm",
-    "PullPlan",
-    "PullPlanner",
-    "ReplicationAction",
-    "ReplicatorCycle",
-    "SourceKind",
     "EvictionRecord",
     "ImageCache",
     "ImageManifest",
     "ImageReference",
     "LayerDescriptor",
+    "LayerSource",
     "ManifestList",
     "ManifestNotFound",
     "MinioError",
     "MinioStore",
     "NoSuchBucket",
     "NoSuchKey",
-    "ObjectInfo",
     "OFFICIAL_BASES",
+    "ObjectInfo",
+    "P2PPullResult",
+    "P2PRegistry",
+    "PeerIndex",
+    "PeerSwarm",
     "PointOfPresence",
+    "PullPlan",
+    "PullPlanner",
     "PullPolicy",
     "PullRateLimiter",
     "PullResult",
@@ -77,8 +74,11 @@ __all__ = [
     "Registry",
     "RegistryClient",
     "RegistryError",
+    "ReplicationAction",
+    "ReplicatorCycle",
     "Repository",
     "RepositoryIndex",
+    "SourceKind",
     "build_image",
     "digest_bytes",
     "digest_text",

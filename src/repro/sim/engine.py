@@ -79,10 +79,11 @@ class Process(Event):
             return
         if self._target is not None and event is not self._target:
             # A stale wake-up (interrupt raced with the awaited event):
-            # only deliver interrupts; ignore anything else.
+            # only deliver interrupts; ignore anything else.  A *real*
+            # failure of an abandoned event is deliberately NOT marked
+            # consumed — a crashed child process must still re-raise
+            # from run() (no silent failure mode).
             if not isinstance(event.value, Interrupt):
-                if not event.ok:
-                    event.mark_consumed()  # abandoned by its only waiter
                 return
         self._target = None
         try:
