@@ -1,0 +1,172 @@
+"""``--quick`` smoke runner shared by every ``bench_*.py`` script.
+
+Benchmarks rot silently: they are not collected by tier-1 pytest (their
+functions are ``bench_*``, not ``test_*``) and pytest-benchmark is not
+part of the CI image.  This module makes each benchmark script directly
+executable —
+
+    PYTHONPATH=src python benchmarks/bench_registry.py --quick
+
+— by running every ``bench_*`` function in the module exactly once with
+a pass-through stand-in for the pytest-benchmark fixture.  Assertions
+inside the benchmarks still run, so a benchmark whose hot path broke
+fails the smoke job even though no timing is recorded.
+
+Fixtures are resolved the same way pytest would, but minimally: from
+``benchmarks/conftest.py`` and the module's own ``@pytest.fixture``
+functions, dependencies recursively, every value cached per run.
+Parametrised benchmarks run with their *first* parameter set only (the
+smallest instance, by repo convention — smoke wants cheap, not broad).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+SRC = BENCH_DIR.parent / "src"
+for _p in (str(SRC), str(BENCH_DIR)):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+
+class SmokeBenchmark:
+    """Pass-through stand-in for the pytest-benchmark fixture."""
+
+    def __call__(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        return fn(*args, **kwargs)
+
+    def pedantic(
+        self,
+        target: Callable,
+        args: Tuple = (),
+        kwargs: Dict[str, Any] = None,
+        **_options: Any,
+    ) -> Any:
+        return target(*args, **(kwargs or {}))
+
+
+def _fixture_function(obj: Any) -> Callable:
+    """The raw function behind a ``@pytest.fixture`` object.
+
+    pytest >= 8 wraps fixtures in ``FixtureFunctionDefinition`` (raw
+    function at ``_fixture_function``); older versions return the
+    function itself, possibly wrapped.
+    """
+    raw = getattr(obj, "_fixture_function", None)
+    if raw is not None:
+        return raw
+    return inspect.unwrap(obj)
+
+
+def _is_fixture(obj: Any) -> bool:
+    return (
+        hasattr(obj, "_fixture_function")
+        or hasattr(obj, "_pytestfixturefunction")
+    )
+
+
+def _conftest_namespace() -> Dict[str, Any]:
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", BENCH_DIR / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return vars(module)
+
+
+def _first_paramset(fn: Callable) -> Dict[str, Any]:
+    """First value set of the function's ``parametrize`` marks."""
+    params: Dict[str, Any] = {}
+    for mark in getattr(fn, "pytestmark", []):
+        if getattr(mark, "name", "") != "parametrize":
+            continue
+        argnames, argvalues = mark.args[0], mark.args[1]
+        names = (
+            [n.strip() for n in argnames.split(",")]
+            if isinstance(argnames, str)
+            else list(argnames)
+        )
+        first = list(argvalues)[0]
+        values = getattr(first, "values", first)  # unwrap pytest.param
+        if len(names) == 1 and not isinstance(values, (tuple, list)):
+            values = (values,)
+        params.update(zip(names, values))
+    return params
+
+
+def parse_quick(argv: List[str]) -> bool:
+    """The shared ``--quick``-only CLI contract of every bench script.
+
+    Returns whether ``--quick`` was passed; any other argument exits
+    with status 2 so typos in CI don't silently run the wrong thing.
+    """
+    leftover = [a for a in argv if a != "--quick"]
+    if leftover:
+        print(f"unknown arguments: {leftover}", file=sys.stderr)
+        raise SystemExit(2)
+    return "--quick" in argv
+
+
+def smoke_main(namespace: Dict[str, Any], argv: List[str] = ()) -> int:
+    """Run every ``bench_*`` function of ``namespace`` once.
+
+    ``--quick`` is accepted (and is the only mode: one pass, first
+    paramset, no timing).
+    """
+    parse_quick(list(argv))
+    providers: Dict[str, Any] = {}
+    for ns in (_conftest_namespace(), namespace):
+        for name, obj in ns.items():
+            if _is_fixture(obj):
+                providers[name] = obj
+    resolved: Dict[str, Any] = {}
+    finalizers: List[Any] = []
+
+    def resolve(name: str) -> Any:
+        if name in resolved:
+            return resolved[name]
+        if name not in providers:
+            raise LookupError(f"no fixture {name!r} for the smoke run")
+        fn = _fixture_function(providers[name])
+        deps = list(inspect.signature(fn).parameters)
+        value = fn(*[resolve(dep) for dep in deps])
+        if inspect.isgenerator(value):  # yield-style fixture
+            generator = value
+            value = next(generator)
+            finalizers.append(generator)
+        resolved[name] = value
+        return value
+
+    module_name = namespace.get("__file__", "benchmarks")
+    benches = sorted(
+        (name, fn)
+        for name, fn in namespace.items()
+        if name.startswith("bench_") and inspect.isfunction(fn)
+    )
+    if not benches:
+        print(f"{module_name}: no bench_* functions found", file=sys.stderr)
+        return 1
+    for name, fn in benches:
+        params = _first_paramset(fn)
+        kwargs: Dict[str, Any] = {}
+        for param in inspect.signature(fn).parameters:
+            if param in params:
+                kwargs[param] = params[param]
+            elif param == "benchmark":
+                kwargs[param] = SmokeBenchmark()
+            else:
+                kwargs[param] = resolve(param)
+        label = "".join(f" {k}={v!r}" for k, v in sorted(params.items()))
+        print(f"smoke {Path(module_name).name}::{name}{label}")
+        fn(**kwargs)
+    # Tear yield-style fixtures down (code after their yield), newest
+    # first, as pytest would.
+    for generator in reversed(finalizers):
+        next(generator, None)
+    print(f"smoke OK: {len(benches)} benchmark(s) ran once")
+    return 0

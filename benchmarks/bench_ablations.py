@@ -30,3 +30,13 @@ def bench_ablation_bandwidth_point(benchmark):
         iterations=1,
     )
     assert len(result.rows) == 1
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

@@ -22,3 +22,13 @@ def bench_deep_schedule_three_devices(benchmark, testbed, video_app):
     env = cloud_environment(testbed, CloudConfig(static_watts=2.0))
     result = benchmark(lambda: DeepScheduler().schedule(video_app, env))
     result.plan.validate_against(video_app)
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

@@ -30,3 +30,13 @@ def bench_figure3a_training_dominance(benchmark, testbed):
             v for (a, s), v in energies.items() if a == app and "train" not in s
         ]
         assert max(trains) > max(others)
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

@@ -17,3 +17,13 @@ def bench_figure3b_regeneration(benchmark, testbed):
         assert row["delta_vs_deep_j"] >= -1e-6
         if row["method"] != "deep":
             assert row["delta_vs_deep_j"] / (row["energy_kj"] * 1000) < 0.01
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

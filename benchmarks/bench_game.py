@@ -73,3 +73,13 @@ def bench_zero_sum_lp_10x10(benchmark):
     game = NormalFormGame(rng.normal(size=(10, 10)))
     sol = benchmark(lambda: solve_zero_sum(game))
     assert game.is_nash(sol.row_strategy, sol.col_strategy, tol=1e-6)
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

@@ -85,3 +85,13 @@ def bench_layered_sibling_pull(benchmark):
 
     result = benchmark(sibling_pull)
     assert result.bytes_transferred < result.bytes_total
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

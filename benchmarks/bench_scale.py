@@ -2,14 +2,36 @@
 
 Times DEEP's Nash sweep as the device fleet and DAG grow — the knob
 the paper's two-device testbed never exercises.
+
+Run directly for the transfer-engine scaling sweep (``--quick``
+shrinks it for the CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--quick]
+
+The sweep drives the time-resolved :class:`TransferEngine` with a
+steady pull stream over fleets of 10/100/1000 devices (bounded
+concurrency, as real arrival processes have) and checks wall time
+stays **sub-quadratic** in fleet size: fair-share recomputation costs
+``O(active transfers + involved links)`` per event, so with bounded
+concurrency the total is near-linear — a quadratic blow-up would mean
+the recompute started scanning idle state.
 """
 
-import pytest
+import sys
+import time
+from pathlib import Path
 
-from repro.core.baselines import GreedyEnergyScheduler
-from repro.core.scheduler import DeepScheduler
-from repro.sim.rng import RngRegistry
-from repro.workloads.synthetic import (
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import pytest  # noqa: E402
+
+from repro.core.baselines import GreedyEnergyScheduler  # noqa: E402
+from repro.core.scheduler import DeepScheduler  # noqa: E402
+from repro.model.network import NetworkModel  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.rng import RngRegistry  # noqa: E402
+from repro.sim.transfers import TransferEngine  # noqa: E402
+from repro.workloads.synthetic import (  # noqa: E402
     SyntheticConfig,
     synthetic_application,
     synthetic_environment,
@@ -39,3 +61,105 @@ def bench_greedy_scaling_reference(benchmark, n_devices, width):
     env, app = _instance(n_devices, width)
     result = benchmark(lambda: GreedyEnergyScheduler().schedule(app, env))
     result.plan.validate_against(app)
+
+
+# ----------------------------------------------------------------------
+# time-resolved transfer engine: fleet-size scaling
+# ----------------------------------------------------------------------
+#: Per-device channel bandwidth and shared origin uplink: ten transfers
+#: run at full speed concurrently, so steady-state concurrency is set
+#: by arrival spacing, not fleet size.
+_ENGINE_CHANNEL_MBPS = 100.0
+_ENGINE_UPLINK_MBPS = 1000.0
+_ENGINE_PAYLOAD_BYTES = 250_000_000  # 20 s at channel speed
+_ENGINE_SPACING_S = 2.0
+
+
+def _engine_run(n_devices: int) -> dict:
+    """One steady pull stream through the engine; returns timings."""
+    network = NetworkModel()
+    for i in range(n_devices):
+        name = f"edge-{i:04d}"
+        network.connect_registry("origin", name, _ENGINE_CHANNEL_MBPS)
+        network.set_downlink(name, _ENGINE_CHANNEL_MBPS * 2)
+    network.set_uplink("origin", _ENGINE_UPLINK_MBPS)
+    sim = Simulator()
+    engine = TransferEngine(sim, network)
+
+    def one(i: int, name: str):
+        yield sim.timeout(i * _ENGINE_SPACING_S)
+        transfer = engine.start(
+            "origin", name, _ENGINE_PAYLOAD_BYTES, src_is_registry=True
+        )
+        yield transfer.done
+
+    for i in range(n_devices):
+        sim.process(one(i, f"edge-{i:04d}"))
+    wall_start = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - wall_start
+    assert engine.completed == n_devices
+    assert engine.peak_oversubscription() <= 1.0 + 1e-9
+    return dict(
+        devices=n_devices,
+        wall_s=wall_s,
+        recomputes=engine.recomputes,
+        sim_end_s=sim.now,
+    )
+
+
+def run_engine_sweep(sizes=(10, 100, 1000)) -> list:
+    """Wall time of the engine across fleet sizes (steady concurrency)."""
+    return [_engine_run(n) for n in sizes]
+
+
+def check_engine_sweep(rows) -> None:
+    """Sub-quadratic check between consecutive sweep sizes.
+
+    With bounded concurrency the expected growth is linear; quadratic
+    growth (ratio ≈ size-ratio²) means recomputation started touching
+    idle state.  The threshold sits at ``ratio^1.5`` with a wall-clock
+    noise floor so CI jitter on the small runs cannot fail the check.
+    """
+    for small, big in zip(rows, rows[1:]):
+        size_ratio = big["devices"] / small["devices"]
+        time_ratio = big["wall_s"] / max(small["wall_s"], 1e-3)
+        assert time_ratio < size_ratio**1.5, (
+            f"engine wall time grew {time_ratio:.1f}x from "
+            f"{small['devices']} to {big['devices']} devices "
+            f"(sub-quadratic bound: {size_ratio ** 1.5:.1f}x)"
+        )
+
+
+def bench_engine_steady_stream(benchmark):
+    """pytest-benchmark unit: the 100-device steady stream."""
+    row = benchmark.pedantic(lambda: _engine_run(100), rounds=3, iterations=1)
+    assert row["recomputes"] > 0
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import parse_quick
+
+    quick = parse_quick(sys.argv[1:] if argv is None else list(argv))
+    sizes = (10, 100) if quick else (10, 100, 1000)
+    rows = run_engine_sweep(sizes)
+    print("== transfer-engine scaling (steady pull stream) ==")
+    print(f"{'devices':>8} {'wall s':>8} {'recomputes':>11} {'sim end s':>10}")
+    for row in rows:
+        print(
+            f"{row['devices']:>8} {row['wall_s']:>8.3f} "
+            f"{row['recomputes']:>11} {row['sim_end_s']:>10.1f}"
+        )
+    check_engine_sweep(rows)
+    print("engine sweep OK: wall time is sub-quadratic in fleet size")
+    if quick:
+        from _smoke import smoke_main
+
+        return smoke_main(globals(), [])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    raise SystemExit(main())

@@ -40,3 +40,13 @@ def bench_table2_single_service_small(benchmark, testbed):
     )
     published = table_row("text-processing", "ha-train")
     assert published.ec_small_j.contains(ec, slack=0.05)
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

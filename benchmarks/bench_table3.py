@@ -28,3 +28,13 @@ def bench_deep_schedule_video(benchmark, testbed, video_app):
 def bench_deep_schedule_text(benchmark, testbed, text_app):
     result = benchmark(lambda: DeepScheduler().schedule(text_app, testbed.env))
     assert result.plan.registry_share(REGIONAL_NAME) == pytest.approx(5 / 6)
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _smoke import smoke_main
+
+    raise SystemExit(smoke_main(globals(), sys.argv[1:]))

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli fig3b       # Figure 3b method comparison
     python -m repro.cli ablations   # A1–A4
     python -m repro.cli p2p         # three-tier registry comparison
+    python -m repro.cli p2p-contended  # analytic vs time-resolved pulls
     python -m repro.cli all         # everything above
     python -m repro.cli calibration # dump the fitted constants
 """
@@ -57,7 +58,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
-                 "p2p", "all", "calibration"],
+                 "p2p", "p2p-contended", "all", "calibration"],
         help="which artefact to regenerate",
     )
     args = parser.parse_args(argv)
@@ -74,6 +75,7 @@ def main(argv: List[str] = None) -> int:
         "fig3b": lambda: figure3b.run(testbed),
         "cloud": lambda: cloud.run(testbed),
         "p2p": lambda: p2p.run(),
+        "p2p-contended": lambda: p2p.run_contended(),
     }
     selected: List[str]
     if args.experiment == "all":

@@ -27,6 +27,7 @@ from ..registry.client import PullPolicy, PullResult, RegistryClient
 from ..registry.p2p import P2PPullResult, P2PRegistry
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
+from ..sim.transfers import TransferEngine, TransferModel
 from .power import PowerTrace
 from .storage import StorageLedger
 
@@ -90,10 +91,18 @@ class DeviceRuntime:
         pull_policy: PullPolicy = PullPolicy.WHOLE_IMAGE,
         intensity: IntensityFn = unit_intensity,
         p2p: Optional[P2PRegistry] = None,
+        transfer_model: TransferModel = TransferModel.ANALYTIC,
+        engine: Optional[TransferEngine] = None,
     ) -> None:
+        if transfer_model is TransferModel.TIME_RESOLVED and engine is None:
+            raise ValueError(
+                "TransferModel.TIME_RESOLVED needs a shared TransferEngine"
+            )
         self.sim = sim
         self.device = device
         self.network = network
+        self.transfer_model = transfer_model
+        self.engine = engine
         self.cache = ImageCache(device.spec.storage_gb, device.name)
         self.scratch = StorageLedger(device.spec.storage_gb, device.name)
         self.trace = PowerTrace(device)
@@ -161,41 +170,79 @@ class DeviceRuntime:
 
             # Phase 1 — deployment: pull what the cache doesn't hold.
             pull: Union[PullResult, P2PPullResult]
-            if self.p2p is not None:
-                # Three-tier pull: each missing layer comes from its
-                # cheapest source (peer → regional → hub); the plan's
-                # per-channel estimate is the deployment time.
-                pull = self.p2p.pull(
-                    reference,
-                    self.device.arch,
-                    self.name,
-                    self.cache,
-                    now_s=self.sim.now,
-                )
-                registry_name = self.p2p.name
-                deploy_s = pull.seconds
+            if self.transfer_model is TransferModel.TIME_RESOLVED:
+                # Pulls run through the shared-bandwidth engine: layers
+                # occupy links for their real (contended) duration and
+                # enter the cache at transfer completion.
+                if self.p2p is not None:
+                    pull = yield from self.p2p.pull_process(
+                        reference,
+                        self.device.arch,
+                        self.name,
+                        self.cache,
+                        self.engine,
+                    )
+                    registry_name = self.p2p.name
+                else:
+                    scale = 1.0
+                    if self.client.policy is PullPolicy.WHOLE_IMAGE:
+                        scale = 1.0 - service.warm_fraction
+                    pull = yield from self.client.pull_process(
+                        registry,
+                        reference,
+                        self.device.arch,
+                        self.cache,
+                        self.engine,
+                        client_name=self.name,
+                        bytes_scale=scale,
+                    )
+                    registry_name = registry.name
+                deploy_s = self.sim.now - start_s
+                if deploy_s > 0:
+                    # Recorded retroactively — the duration is only
+                    # known once the contended transfers complete.
+                    self.trace.record(
+                        start_s, deploy_s, Phase.PULL, label=service.name
+                    )
             else:
-                pull = self.client.pull(
-                    registry,
-                    reference,
-                    self.device.arch,
-                    self.cache,
-                    client_name=self.name,
-                    now_s=self.sim.now,
-                )
-                registry_name = registry.name
-                transferred = pull.bytes_transferred
-                if self.client.policy is PullPolicy.WHOLE_IMAGE:
-                    # The whole-image model cannot see shared base layers;
-                    # the calibrated warm fraction approximates them
-                    # (layered mode dedups for real instead).
-                    transferred = int(transferred * (1.0 - service.warm_fraction))
-                deploy_s = self.pull_seconds(registry.name, transferred)
-            if deploy_s > 0:
-                self.trace.record(
-                    self.sim.now, deploy_s, Phase.PULL, label=service.name
-                )
-                yield self.sim.timeout(deploy_s)
+                if self.p2p is not None:
+                    # Three-tier pull: each missing layer comes from its
+                    # cheapest source (peer → regional → hub); the plan's
+                    # per-channel estimate is the deployment time.
+                    pull = self.p2p.pull(
+                        reference,
+                        self.device.arch,
+                        self.name,
+                        self.cache,
+                        now_s=self.sim.now,
+                    )
+                    registry_name = self.p2p.name
+                    deploy_s = pull.seconds
+                else:
+                    pull = self.client.pull(
+                        registry,
+                        reference,
+                        self.device.arch,
+                        self.cache,
+                        client_name=self.name,
+                        now_s=self.sim.now,
+                    )
+                    registry_name = registry.name
+                    transferred = pull.bytes_transferred
+                    if self.client.policy is PullPolicy.WHOLE_IMAGE:
+                        # The whole-image model cannot see shared base
+                        # layers; the calibrated warm fraction
+                        # approximates them (layered mode dedups for
+                        # real instead).
+                        transferred = int(
+                            transferred * (1.0 - service.warm_fraction)
+                        )
+                    deploy_s = self.pull_seconds(registry.name, transferred)
+                if deploy_s > 0:
+                    self.trace.record(
+                        self.sim.now, deploy_s, Phase.PULL, label=service.name
+                    )
+                    yield self.sim.timeout(deploy_s)
 
             # Phase 2 — dataflow transmission (upstream + ingress).
             transfer_s = self.transfer_seconds(incoming, service.ingress_mb)

@@ -17,12 +17,16 @@ distribution pays off.  The headline metric is *origin traffic*: bytes
 pulled from hub + regional.  The P2P tier strictly lowers it because
 every layer already cached anywhere in a region can be served locally.
 
-Modeling note: like the paper's two-tier pull model, cache admission
-is instantaneous at pull start (the transfer's duration is slept
-*after* accounting), so overlapping pulls can plan peer fetches from
-layers still in flight.  This makes the reported P2P savings
-optimistic under heavy pull overlap; modeling in-flight transfers is
-a recorded follow-on (see ROADMAP "Registry tiers").
+Two transfer models are supported (see
+:class:`~repro.sim.transfers.TransferModel`): the default ``ANALYTIC``
+mode keeps the paper's instant-admission accounting (every transfer an
+isolated ``size/BW`` sleep, layers visible to peers at pull *start*),
+while ``TIME_RESOLVED`` drives every pull through the shared-bandwidth
+:class:`~repro.sim.transfers.TransferEngine` with reserve→commit cache
+admission — overlapping pulls contend for links and can only source
+layers from peers whose copies have actually landed.
+:func:`run_contended` quantifies the gap between the two on a
+deliberately overlapping schedule.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from ..registry.p2p import AdaptiveReplicator, P2PRegistry, PeerSwarm
 from ..registry.regional import RegionalRegistry
 from ..sim.engine import Simulator
 from ..sim.rng import DEFAULT_SEED, RngRegistry
+from ..sim.transfers import TransferEngine, TransferModel
 from .runner import ExperimentResult
 
 MODES = ("hub-only", "hybrid", "hybrid+p2p")
@@ -92,6 +97,11 @@ class ModeOutcome:
     bytes_replicated: int = 0
     transfer_s: float = 0.0
     replicator: Optional[AdaptiveReplicator] = None
+    #: Scheduled pulls that did not finish (time-resolved: still in
+    #: flight; analytic: not yet arrived) when the horizon cut the run
+    #: off.  Nonzero values mean the byte counters under-report — the
+    #: truncation is deliberate but must never be silent.
+    unfinished_pulls: int = 0
 
     @property
     def origin_bytes(self) -> int:
@@ -200,6 +210,8 @@ def run_mode(
     replicator_interval_s: float = 120.0,
     replicator_hot_threshold: float = 3.0,
     replicator_target_replicas: int = 2,
+    transfer_model: TransferModel = TransferModel.ANALYTIC,
+    upload_budget: Optional[int] = None,
 ) -> ModeOutcome:
     """Execute the scenario's pull schedule under one tier configuration.
 
@@ -210,6 +222,11 @@ def run_mode(
     across modes — their blob content is immutable, but diagnostic pull
     counters accumulate, so scenarios must not configure a hub rate
     limiter (``build_scenario`` never does).
+
+    Under ``TransferModel.TIME_RESOLVED`` every pull runs through a
+    shared :class:`TransferEngine` (one per mode run): transfers
+    contend for channel capacity, peers admit layers at completion
+    only, and ``upload_budget`` caps concurrent uploads per device.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -229,10 +246,13 @@ def run_mode(
         swarm, chain, name=mode, use_peers=(mode == "hybrid+p2p")
     )
     outcome = ModeOutcome(mode=mode)
+    engine: Optional[TransferEngine] = None
+    if transfer_model is TransferModel.TIME_RESOLVED:
+        engine = TransferEngine(
+            sim, scenario.network, default_upload_budget=upload_budget
+        )
 
-    def one_pull(at_s: float, device: str, ref: ImageReference):
-        yield sim.timeout(at_s)
-        result = facade.pull(ref, Arch.AMD64, device, caches[device], now_s=sim.now)
+    def account(result) -> None:
         outcome.pulls += 1
         outcome.cache_hits += 1 if result.cache_hit else 0
         outcome.bytes_from_peers += result.bytes_from_peers
@@ -241,8 +261,21 @@ def run_mode(
             outcome.bytes_by_registry[registry] = (
                 outcome.bytes_by_registry.get(registry, 0) + count
             )
-        if result.seconds > 0:
-            yield sim.timeout(result.seconds)
+
+    def one_pull(at_s: float, device: str, ref: ImageReference):
+        yield sim.timeout(at_s)
+        if engine is None:
+            result = facade.pull(
+                ref, Arch.AMD64, device, caches[device], now_s=sim.now
+            )
+            account(result)
+            if result.seconds > 0:
+                yield sim.timeout(result.seconds)
+        else:
+            result = yield from facade.pull_process(
+                ref, Arch.AMD64, device, caches[device], engine
+            )
+            account(result)
 
     for at_s, device, ref in scenario.schedule:
         sim.process(one_pull(at_s, device, ref))
@@ -254,6 +287,7 @@ def run_mode(
             interval_s=replicator_interval_s,
             hot_threshold=replicator_hot_threshold,
             target_replicas=replicator_target_replicas,
+            engine=engine,
         )
         sim.process(replicator.process())
         outcome.replicator = replicator
@@ -261,6 +295,7 @@ def run_mode(
         outcome.bytes_replicated = replicator.bytes_replicated
     else:
         sim.run(until=scenario.horizon_s)
+    outcome.unfinished_pulls = len(scenario.schedule) - outcome.pulls
     return outcome
 
 
@@ -325,4 +360,133 @@ def run(
             f"copies ({replicator.bytes_replicated / BYTES_PER_GB:.2f} GB), "
             f"converged={replicator.converged()}"
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# contended overlap: analytic vs time-resolved
+# ----------------------------------------------------------------------
+def build_contended_scenario(
+    n_devices: int = 8,
+    n_regions: int = 2,
+    cache_gb: float = 12.0,
+    stagger_s: float = 1.0,
+    seed: int = DEFAULT_SEED,
+) -> SwarmScenario:
+    """A worst-case-overlap schedule: every device pulls the *same*
+    image almost simultaneously (``stagger_s`` apart), twice.
+
+    Each wave is where the models diverge: analytic admission
+    publishes the first puller's layers at pull start, so every
+    follower plans a LAN peer fetch; time-resolved admission publishes
+    nothing until a transfer actually completes, so the bulk of a wave
+    goes to the origin and additionally contends for link capacity.
+    The second wave pulls a *different* image (sharing a base with the
+    first), so both waves are cold and the gap compounds.
+
+    Devices also get shared NIC links (uplink/downlink) and the
+    registries shared egress links, so time-resolved transfers contend
+    at the endpoints, not just on individual channels.
+    """
+    scenario = build_scenario(
+        n_devices=n_devices,
+        n_images=2,
+        pulls_per_device=1,
+        n_regions=n_regions,
+        cache_gb=cache_gb,
+        seed=seed,
+    )
+    network = scenario.network
+    for dev in scenario.devices:
+        network.set_uplink(dev.name, 400.0)
+        network.set_downlink(dev.name, 400.0)
+    network.set_uplink(scenario.hub.name, 500.0)
+    network.set_uplink(scenario.regional.name, 300.0)
+    first_wave = [
+        (i * stagger_s, dev.name, scenario.references[0])
+        for i, dev in enumerate(scenario.devices)
+    ]
+    # Second wave well after every first-wave transfer has completed,
+    # pulling the sibling image (shared base, fresh app layers).
+    wave_gap_s = scenario.horizon_s * 0.5
+    second_wave = [
+        (wave_gap_s + i * stagger_s, dev.name, scenario.references[1])
+        for i, dev in enumerate(scenario.devices)
+    ]
+    scenario.schedule = first_wave + second_wave
+    return scenario
+
+
+def run_contended(
+    n_devices: int = 8,
+    n_regions: int = 2,
+    upload_budget: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Quantify the analytic-vs-time-resolved gap under overlap.
+
+    Runs the contended-overlap scenario in ``hybrid`` (baseline, no
+    peers) and ``hybrid+p2p`` under both transfer models.  The headline
+    is the *origin-traffic saving* of the P2P tier: analytic admission
+    overstates it because followers fetch from in-flight copies that a
+    real swarm could not have served yet.
+    """
+    result = ExperimentResult(
+        experiment_id="p2p-contended",
+        title=(
+            f"P2P savings under overlapping pulls: analytic vs "
+            f"time-resolved transfers ({n_devices} devices) [GB]"
+        ),
+        columns=[
+            "model",
+            "pulls",
+            "hybrid_origin_gb",
+            "p2p_origin_gb",
+            "saved_gb",
+            "saved_pct",
+            "peer_gb",
+            "transfer_s",
+        ],
+    )
+    savings: Dict[TransferModel, int] = {}
+    for model in (TransferModel.ANALYTIC, TransferModel.TIME_RESOLVED):
+        scenario = build_contended_scenario(
+            n_devices=n_devices, n_regions=n_regions, seed=seed
+        )
+        hybrid = run_mode(
+            scenario, "hybrid", transfer_model=model, upload_budget=upload_budget
+        )
+        p2p = run_mode(
+            scenario,
+            "hybrid+p2p",
+            transfer_model=model,
+            upload_budget=upload_budget,
+        )
+        saved = hybrid.origin_bytes - p2p.origin_bytes
+        savings[model] = saved
+        for outcome in (hybrid, p2p):
+            if outcome.unfinished_pulls:
+                result.note(
+                    f"WARNING: {outcome.unfinished_pulls} pull(s) of the "
+                    f"{model.value} {outcome.mode} run did not finish by "
+                    f"the horizon — its byte counters under-report"
+                )
+        result.add_row(
+            model=model.value,
+            pulls=p2p.pulls,
+            hybrid_origin_gb=hybrid.origin_bytes / BYTES_PER_GB,
+            p2p_origin_gb=p2p.origin_bytes / BYTES_PER_GB,
+            saved_gb=saved / BYTES_PER_GB,
+            saved_pct=(
+                100.0 * saved / hybrid.origin_bytes if hybrid.origin_bytes else 0.0
+            ),
+            peer_gb=(p2p.bytes_from_peers + p2p.bytes_replicated) / BYTES_PER_GB,
+            transfer_s=p2p.transfer_s,
+        )
+    gap = savings[TransferModel.ANALYTIC] - savings[TransferModel.TIME_RESOLVED]
+    result.note(
+        f"analytic admission overstates P2P origin savings by "
+        f"{gap / BYTES_PER_GB:.2f} GB under this overlap "
+        f"({'time-resolved is strictly lower' if gap > 0 else 'NO GAP'})"
+    )
     return result

@@ -14,7 +14,7 @@ touch the network and take zero time (loopback).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .units import require_non_negative, require_positive, transfer_time_s
 
@@ -52,6 +52,19 @@ class Channel:
 INGRESS = "__ingress__"
 
 
+@dataclass(frozen=True)
+class LinkSpec:
+    """One shared link of a transfer path (name + capacity).
+
+    The time-resolved :class:`~repro.sim.transfers.TransferEngine`
+    materialises these into live :class:`~repro.sim.transfers.Link`
+    objects; the analytic path never looks at them.
+    """
+
+    name: str
+    capacity_mbps: float
+
+
 class NetworkModel:
     """Bandwidth matrix over devices and registries.
 
@@ -64,6 +77,8 @@ class NetworkModel:
     def __init__(self) -> None:
         self._device_channels: Dict[Tuple[str, str], Channel] = {}
         self._registry_channels: Dict[Tuple[str, str], Channel] = {}
+        self._uplinks: Dict[str, float] = {}
+        self._downlinks: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # topology construction
@@ -163,6 +178,60 @@ class NetworkModel:
         return self.registry_channel(registry, device).transfer_time_s(
             size_gb * 1000.0
         )
+
+    # ------------------------------------------------------------------
+    # shared links (the time-resolved transfer model)
+    # ------------------------------------------------------------------
+    def set_uplink(self, endpoint: str, capacity_mbps: float) -> None:
+        """Give ``endpoint`` (device or registry) a shared egress link.
+
+        Every transfer *sourced* at the endpoint crosses this link, so
+        concurrent uploads share it — the seeder-side contention the
+        analytic model cannot express.  Only the time-resolved
+        :class:`~repro.sim.transfers.TransferEngine` consults it.
+        """
+        require_positive(capacity_mbps, "capacity_mbps")
+        self._uplinks[endpoint] = capacity_mbps
+
+    def set_downlink(self, endpoint: str, capacity_mbps: float) -> None:
+        """Give ``endpoint`` a shared ingress link (NIC capacity)."""
+        require_positive(capacity_mbps, "capacity_mbps")
+        self._downlinks[endpoint] = capacity_mbps
+
+    def uplink_mbps(self, endpoint: str) -> Optional[float]:
+        return self._uplinks.get(endpoint)
+
+    def downlink_mbps(self, endpoint: str) -> Optional[float]:
+        return self._downlinks.get(endpoint)
+
+    def transfer_path(
+        self, src: str, dst: str, src_is_registry: bool = False
+    ) -> Tuple[List[LinkSpec], float]:
+        """Shared links a ``src → dst`` transfer occupies, plus latency.
+
+        The path is source uplink (if configured) → the point-to-point
+        channel (always, at its bandwidth) → destination downlink (if
+        configured).  Loopback transfers occupy nothing.  The latency
+        is the channel's RTT, charged once per transfer as in the
+        analytic model.
+        """
+        if not src_is_registry and src == dst:
+            return [], 0.0
+        if src_is_registry:
+            channel = self.registry_channel(src, dst)
+        else:
+            chan = self.device_channel(src, dst)
+            assert chan is not None  # loopback handled above
+            channel = chan
+        specs: List[LinkSpec] = []
+        up = self._uplinks.get(src)
+        if up is not None:
+            specs.append(LinkSpec(f"up:{src}", up))
+        specs.append(LinkSpec(f"chan:{src}->{dst}", channel.bandwidth_mbps))
+        down = self._downlinks.get(dst)
+        if down is not None:
+            specs.append(LinkSpec(f"down:{dst}", down))
+        return specs, channel.rtt_s
 
     # ------------------------------------------------------------------
     # external ingress (camera feeds, S3 datasets)

@@ -16,6 +16,7 @@ from ..registry.base import Registry
 from ..registry.client import PullPolicy
 from ..registry.p2p import P2PRegistry
 from ..sim.engine import Simulator
+from ..sim.transfers import TransferEngine, TransferModel
 
 
 class ClusterError(RuntimeError):
@@ -31,11 +32,18 @@ class Cluster:
         pull_policy: PullPolicy = PullPolicy.WHOLE_IMAGE,
         intensity: IntensityFn = unit_intensity,
         p2p: Optional[P2PRegistry] = None,
+        transfer_model: TransferModel = TransferModel.ANALYTIC,
+        engine: Optional[TransferEngine] = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.pull_policy = pull_policy
         self.intensity = intensity
         self.p2p = p2p
+        self.transfer_model = transfer_model
+        #: The fleet-wide shared-bandwidth engine (time-resolved mode).
+        #: Created lazily at first node registration when not injected,
+        #: so all kubelet pulls contend on one set of links.
+        self.engine = engine
         self._nodes: Dict[str, DeviceRuntime] = {}
         self._registries: Dict[str, Registry] = {}
 
@@ -46,6 +54,8 @@ class Cluster:
         """Join a device to the cluster (kubelet registration)."""
         if device.name in self._nodes:
             raise ClusterError(f"node {device.name!r} already registered")
+        if self.transfer_model is TransferModel.TIME_RESOLVED and self.engine is None:
+            self.engine = TransferEngine(self.sim, network)
         runtime = DeviceRuntime(
             sim=self.sim,
             device=device,
@@ -53,6 +63,8 @@ class Cluster:
             pull_policy=self.pull_policy,
             intensity=self.intensity,
             p2p=self.p2p,
+            transfer_model=self.transfer_model,
+            engine=self.engine,
         )
         self._nodes[device.name] = runtime
         return runtime

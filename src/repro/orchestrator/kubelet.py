@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Tuple
 from ..devices.executor import DeviceRuntime, ExecutionRecord
 from ..model.application import Microservice
 from ..registry.base import Registry
+from ..registry.p2p import SourceKind
 from ..registry.repository import ManifestNotFound
 from .monitoring import Monitor
 from .objects import ImagePullPolicy, Pod, PodPhase
@@ -91,4 +92,30 @@ class Kubelet:
         )
         self.monitor.count("pods_succeeded")
         self.monitor.count("bytes_pulled", record.pull.bytes_transferred)
+        # Per-source byte accounting: experiments read peer savings off
+        # the monitor instead of re-deriving them from pull plans.
+        self.monitor.count(
+            "bytes_from_peers", getattr(record.pull, "bytes_from_peers", 0)
+        )
+        for source, count in sorted(self._bytes_by_source(record).items()):
+            self.monitor.count(f"bytes_from.{source}", count)
         return record
+
+    @staticmethod
+    def _bytes_by_source(record: ExecutionRecord) -> dict:
+        """Transferred bytes keyed by the serving source's name.
+
+        Three-tier pulls break down per plan layer (peer device names
+        and registry names alike); two-tier pulls attribute everything
+        to the single registry that served them.
+        """
+        pull = record.pull
+        plan = getattr(pull, "plan", None)
+        out: dict = {}
+        if plan is not None:
+            for layer in plan.layers:
+                if layer.kind is not SourceKind.LOCAL:
+                    out[layer.source] = out.get(layer.source, 0) + layer.size_bytes
+        elif pull.bytes_transferred:
+            out[pull.registry] = pull.bytes_transferred
+        return out

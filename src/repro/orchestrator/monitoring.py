@@ -62,6 +62,11 @@ class Monitor:
     def counter(self, name: str) -> float:
         return self._counters.get(name, 0.0)
 
+    def counters(self) -> Dict[str, float]:
+        """All counters (e.g. ``bytes_pulled``, ``bytes_from_peers``,
+        ``bytes_from.<source>``) by name."""
+        return dict(self._counters)
+
     def gauges(self) -> Dict[str, float]:
         return dict(self._gauges)
 

@@ -59,6 +59,10 @@ class CacheFull(RuntimeError):
     """Raised when a single item is larger than the whole cache."""
 
 
+class ReservationError(RuntimeError):
+    """Raised on conflicting or dangling reserve/commit calls."""
+
+
 class ImageCache:
     """LRU cache of content-addressed entries on one device.
 
@@ -66,6 +70,15 @@ class ImageCache:
     recording that the full image was assembled).  Completeness of an
     image is always re-derived from layer presence, so layer evictions
     can never leave a stale "image present" claim behind.
+
+    In-flight admission follows a **reserve → commit** protocol: a
+    transfer that will land a layer first :meth:`reserve`\\ s its bytes
+    (they count against capacity, evicting LRU entries if needed, but
+    the digest is *not present* — no event is emitted, subscribers such
+    as the peer index never see it), then :meth:`commit`\\ s at transfer
+    completion (the digest becomes an entry and the ``"add"`` event
+    fires) or :meth:`release`\\ s on abort.  The analytic pull path
+    keeps using :meth:`add`/:meth:`admit_image`, which admit instantly.
     """
 
     def __init__(self, capacity_gb: float, device: str = "") -> None:
@@ -75,6 +88,8 @@ class ImageCache:
         self.capacity_bytes = int(capacity_gb * BYTES_PER_GB)
         self._entries: "OrderedDict[str, int]" = OrderedDict()
         self._used = 0
+        self._reserved: Dict[str, int] = {}
+        self._reserved_total = 0
         self._evictions: List[EvictionRecord] = []
         self._listeners: List[CacheListener] = []
 
@@ -97,19 +112,37 @@ class ImageCache:
         if not self._listeners:
             return
         event = CacheEvent(kind, self.device, digest, size_bytes)
-        for listener in list(self._listeners):
-            listener(event)
+        # Snapshot: listeners may subscribe/unsubscribe (even remove
+        # themselves) during delivery without corrupting the iteration.
+        # A raising listener does not starve the others — every
+        # listener sees the event, then the first failure re-raises so
+        # a broken subscriber still crashes loudly.
+        first_error: Optional[BaseException] = None
+        for listener in tuple(self._listeners):
+            try:
+                listener(event)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     @property
     def used_bytes(self) -> int:
+        """Bytes held by *committed* entries (reservations excluded)."""
         return self._used
 
     @property
+    def reserved_bytes(self) -> int:
+        """Bytes held for in-flight transfers (reserve → commit)."""
+        return self._reserved_total
+
+    @property
     def free_bytes(self) -> int:
-        return self.capacity_bytes - self._used
+        return self.capacity_bytes - self._used - self._reserved_total
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -145,22 +178,118 @@ class ImageCache:
                 f"entry {digest} ({size_bytes} B) exceeds cache capacity "
                 f"{self.capacity_bytes} B on {self.device or 'device'}"
             )
+        # An instant insert absorbs any pending reservation for the
+        # same digest: the bytes are now truly present, and the
+        # in-flight transfer's eventual commit degrades to a refresh.
+        self.release(digest)
         old_size = self._entries.get(digest)
         if old_size is not None:
             self._used -= self._entries.pop(digest)
         evicted: List[EvictionRecord] = []
-        while self._used + size_bytes > self.capacity_bytes:
+        evicted.extend(self._evict_until_fits(size_bytes))
+        self._entries[digest] = size_bytes
+        self._used += size_bytes
+        if old_size != size_bytes:
+            self._emit("add", digest, size_bytes)
+        return evicted
+
+    def _evict_until_fits(self, size_bytes: int) -> List[EvictionRecord]:
+        """Evict LRU entries until ``size_bytes`` more fit.
+
+        Reserved bytes are untouchable (an in-flight transfer cannot be
+        evicted — it isn't present yet), so when reservations plus the
+        incoming size exceed capacity with no entries left to evict,
+        the insert fails loudly instead of looping.
+        """
+        evicted: List[EvictionRecord] = []
+        while (
+            self._used + self._reserved_total + size_bytes > self.capacity_bytes
+        ):
+            if not self._entries:
+                raise CacheFull(
+                    f"cannot fit {size_bytes} B on {self.device or 'device'}: "
+                    f"{self._reserved_total} B reserved by in-flight "
+                    f"transfers and nothing left to evict"
+                )
             victim, victim_size = self._entries.popitem(last=False)
             self._used -= victim_size
             record = EvictionRecord(victim, victim_size)
             evicted.append(record)
             self._evictions.append(record)
             self._emit("evict", victim, victim_size)
-        self._entries[digest] = size_bytes
-        self._used += size_bytes
-        if old_size != size_bytes:
-            self._emit("add", digest, size_bytes)
         return evicted
+
+    # ------------------------------------------------------------------
+    # reserve → commit admission (in-flight transfers)
+    # ------------------------------------------------------------------
+    def is_reserved(self, digest: str) -> bool:
+        return digest in self._reserved
+
+    def reserve(self, digest: str, size_bytes: int) -> List[EvictionRecord]:
+        """Hold capacity for a transfer that will land ``digest``.
+
+        The bytes count against capacity immediately (evicting LRU
+        entries as needed) but the digest is **not present**: lookups
+        miss it and no event reaches subscribers until :meth:`commit`.
+        Reserving an already-cached digest is a no-op refresh (returns
+        no evictions); reserving a digest twice is a
+        :class:`ReservationError` — two transfers racing for the same
+        layer on one device is a planner bug, not a cache state.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative entry size: {size_bytes}")
+        if digest in self._reserved:
+            raise ReservationError(
+                f"{digest} already reserved on {self.device or 'device'}"
+            )
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+            return []
+        if size_bytes > self.capacity_bytes:
+            raise CacheFull(
+                f"entry {digest} ({size_bytes} B) exceeds cache capacity "
+                f"{self.capacity_bytes} B on {self.device or 'device'}"
+            )
+        evicted = self._evict_until_fits(size_bytes)
+        self._reserved[digest] = size_bytes
+        self._reserved_total += size_bytes
+        return evicted
+
+    def commit(self, digest: str) -> bool:
+        """Turn a reservation into a present entry (emits ``"add"``).
+
+        Returns True when a reservation was committed.  Committing a
+        digest that was never reserved is allowed only when the digest
+        is already present (the reserve was a no-op refresh): it
+        refreshes recency and returns False.  Anything else is a
+        :class:`ReservationError`.
+        """
+        size = self._reserved.pop(digest, None)
+        if size is None:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return False
+            raise ReservationError(
+                f"commit of unreserved digest {digest} on "
+                f"{self.device or 'device'}"
+            )
+        self._reserved_total -= size
+        old_size = self._entries.pop(digest, None)
+        if old_size is not None:
+            self._used -= old_size
+        self._entries[digest] = size
+        self._used += size
+        if old_size != size:
+            self._emit("add", digest, size)
+        return True
+
+    def release(self, digest: str) -> bool:
+        """Abort a reservation (transfer cancelled); True if one existed."""
+        size = self._reserved.pop(digest, None)
+        if size is None:
+            return False
+        self._reserved_total -= size
+        return True
 
     def remove(self, digest: str) -> bool:
         """Explicitly drop an entry; True if it was present."""
@@ -175,6 +304,11 @@ class ImageCache:
         dropped = list(self._entries.items())
         self._entries.clear()
         self._used = 0
+        # Pending reservations are dropped too: a cleared device has no
+        # business completing transfers into its old state (a commit
+        # after clear raises ReservationError, loudly).
+        self._reserved.clear()
+        self._reserved_total = 0
         for digest, size in dropped:
             self._emit("remove", digest, size)
 
@@ -202,7 +336,7 @@ class ImageCache:
             for layer in manifest.layers
             if layer.digest not in self._entries
         )
-        if needed > self.capacity_bytes:
+        if needed + self._reserved_total > self.capacity_bytes:
             raise CacheFull(
                 f"image {manifest.digest} needs {needed} new bytes; cache "
                 f"capacity is {self.capacity_bytes} B"

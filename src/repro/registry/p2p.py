@@ -38,8 +38,13 @@ from ..model.device import Arch
 from ..model.network import NetworkModel
 from ..model.units import bytes_to_mb
 from ..sim.engine import Simulator
+from ..sim.transfers import (
+    TransferCancelled,
+    TransferEngine,
+    UploadBudgetExceeded,
+)
 from .base import ImageReference, Registry, RegistryError
-from .cache import CacheEvent, EvictionRecord, ImageCache
+from .cache import CacheEvent, CacheFull, CacheListener, EvictionRecord, ImageCache
 from .manifest import ImageManifest
 from .repository import ManifestNotFound
 
@@ -58,6 +63,7 @@ class PeerIndex:
         self._holders: Dict[str, Set[str]] = {}
         self._sizes: Dict[str, int] = {}
         self._caches: Dict[str, ImageCache] = {}
+        self._listeners: Dict[str, CacheListener] = {}
 
     def register_cache(self, device: str, cache: ImageCache) -> None:
         """Track ``cache`` as ``device``'s; seeds and subscribes."""
@@ -71,9 +77,20 @@ class PeerIndex:
             else:  # "evict" / "remove"
                 self._on_drop(_device, event.digest)
 
+        self._listeners[device] = listener
         cache.subscribe(listener)
         for digest, size in cache.entries():
             self._on_add(device, digest, size)
+
+    def unregister_cache(self, device: str) -> None:
+        """Stop tracking ``device`` (departure): unsubscribe and drop
+        every holder entry it contributed."""
+        cache = self._caches.pop(device, None)
+        if cache is None:
+            raise ValueError(f"device {device!r} not registered")
+        cache.unsubscribe(self._listeners.pop(device))
+        for digest in [d for d, h in self._holders.items() if device in h]:
+            self._on_drop(device, digest)
 
     # ------------------------------------------------------------------
     # event handlers
@@ -158,6 +175,26 @@ class PeerSwarm:
         self._regions[device] = region
         self._members.setdefault(region, set()).add(device)
 
+    def remove_device(
+        self, device: str, engine: Optional["TransferEngine"] = None
+    ) -> None:
+        """Depart ``device`` from the swarm (churn).
+
+        The peer index forgets its holdings immediately — committed
+        replicas elsewhere are unaffected — and, when a time-resolved
+        ``engine`` is given, every upload the device was seeding is
+        cancelled so its customers re-resolve to other sources.
+        """
+        self.index.unregister_cache(device)
+        region = self._regions.pop(device)
+        members = self._members.get(region)
+        if members is not None:
+            members.discard(device)
+            if not members:
+                del self._members[region]
+        if engine is not None:
+            engine.cancel_uploads_from(device, reason=f"{device} departed")
+
     def devices(self) -> List[str]:
         return list(self._regions)
 
@@ -173,15 +210,22 @@ class PeerSwarm:
     # ------------------------------------------------------------------
     # peer lookup
     # ------------------------------------------------------------------
-    def best_peer(self, digest: str, device: str) -> Optional[str]:
+    def best_peer(
+        self,
+        digest: str,
+        device: str,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> Optional[str]:
         """Fastest reachable peer holding ``digest`` (region first).
 
         Same-region holders are preferred — they are the cheap LAN hop
         a real swarm gossips over — and checked before falling back to
         a full scan, which keeps the lookup fast in large swarms where
-        a hot layer may have hundreds of holders.
+        a hot layer may have hundreds of holders.  ``exclude`` names
+        peers the caller already found saturated or departed; they are
+        skipped so a re-resolution never returns the same dead end.
         """
-        holders = self.index.holders(digest)
+        holders = self.index.holders(digest) - exclude
         if not holders:
             return None
         region = self._regions.get(device)
@@ -307,50 +351,63 @@ class PullPlanner:
     def plan(
         self, manifest: ImageManifest, device: str, cache: ImageCache
     ) -> PullPlan:
-        network = self.swarm.network
-        sources: List[LayerSource] = []
-        for layer in manifest.layers:
-            if layer.digest in cache:
-                sources.append(
-                    LayerSource(
-                        layer.digest, layer.size_bytes, SourceKind.LOCAL, device, 0.0
-                    )
-                )
-                continue
-            size_mb = bytes_to_mb(layer.size_bytes)
-            best: Optional[LayerSource] = None
-            if self.use_peers:
-                peer = self.swarm.best_peer(layer.digest, device)
-                if peer is not None:
-                    seconds = network.device_channel(peer, device).transfer_time_s(
-                        size_mb
-                    )
-                    best = LayerSource(
-                        layer.digest, layer.size_bytes, SourceKind.PEER, peer, seconds
-                    )
-            for registry in self.registries:
-                if layer.digest not in registry.blobs:
-                    continue
-                if not network.has_registry_channel(registry.name, device):
-                    continue
-                seconds = network.registry_channel(
-                    registry.name, device
-                ).transfer_time_s(size_mb)
-                if best is None or seconds < best.seconds:
-                    best = LayerSource(
-                        layer.digest,
-                        layer.size_bytes,
-                        SourceKind.REGISTRY,
-                        registry.name,
-                        seconds,
-                    )
-            if best is None:
-                raise RegistryError(
-                    f"layer {layer.digest} unreachable from {device!r}: no "
-                    f"peer or registry source"
-                )
-            sources.append(best)
+        sources = [
+            self.resolve_layer(layer.digest, layer.size_bytes, device, cache)
+            for layer in manifest.layers
+        ]
         return PullPlan(device=device, layers=tuple(sources))
+
+    def resolve_layer(
+        self,
+        digest: str,
+        size_bytes: int,
+        device: str,
+        cache: ImageCache,
+        exclude_peers: FrozenSet[str] = frozenset(),
+    ) -> LayerSource:
+        """Cheapest source for one layer right now.
+
+        Time-resolved pulls call this repeatedly: once per layer at
+        fetch time (so the choice sees only *committed* replicas) and
+        again with a grown ``exclude_peers`` whenever the chosen peer
+        turned out to be saturated or departed mid-transfer.
+        """
+        network = self.swarm.network
+        if digest in cache:
+            return LayerSource(digest, size_bytes, SourceKind.LOCAL, device, 0.0)
+        size_mb = bytes_to_mb(size_bytes)
+        best: Optional[LayerSource] = None
+        if self.use_peers:
+            peer = self.swarm.best_peer(digest, device, exclude=exclude_peers)
+            if peer is not None:
+                seconds = network.device_channel(peer, device).transfer_time_s(
+                    size_mb
+                )
+                best = LayerSource(
+                    digest, size_bytes, SourceKind.PEER, peer, seconds
+                )
+        for registry in self.registries:
+            if digest not in registry.blobs:
+                continue
+            if not network.has_registry_channel(registry.name, device):
+                continue
+            seconds = network.registry_channel(
+                registry.name, device
+            ).transfer_time_s(size_mb)
+            if best is None or seconds < best.seconds:
+                best = LayerSource(
+                    digest,
+                    size_bytes,
+                    SourceKind.REGISTRY,
+                    registry.name,
+                    seconds,
+                )
+        if best is None:
+            raise RegistryError(
+                f"layer {digest} unreachable from {device!r}: no "
+                f"peer or registry source"
+            )
+        return best
 
 
 @dataclass(frozen=True)
@@ -439,6 +496,178 @@ class P2PRegistry:
     ) -> PullPlan:
         _, manifest = self.resolve(reference, arch)
         return self.planner.plan(manifest, device, cache)
+
+    def pull_process(
+        self,
+        reference: ImageReference,
+        arch: Arch,
+        device: str,
+        cache: ImageCache,
+        engine: TransferEngine,
+    ):
+        """Time-resolved pull: a DES process whose return value is the
+        :class:`P2PPullResult` (yield it from a simulator process).
+
+        Differences from the analytic :meth:`pull`:
+
+        * each layer is resolved **at fetch time** against committed
+          replicas only — a layer another device is still downloading
+          is invisible until its reserve→commit completes;
+        * layer bytes occupy shared links for real (fair-share rates,
+          upload budgets) via ``engine``;
+        * a source that turns out saturated
+          (:class:`UploadBudgetExceeded`) or departs mid-transfer
+          (:class:`TransferCancelled`) is excluded and the layer is
+          re-resolved against whatever the swarm holds *now*;
+        * the device cache admits each layer only when its transfer
+          completes (reserve → commit), so this device in turn becomes
+          a peer source no earlier than it truly holds the bytes.
+        """
+        sim = engine.sim
+        resolved_registry, manifest = self.resolve(reference, arch)
+        missing = [l for l in manifest.layers if l.digest not in cache]
+        needed = sum(l.size_bytes for l in missing)
+        # Only a *permanently* impossible image fails upfront.  Bytes
+        # reserved by concurrent transfers are deliberately ignored:
+        # they are transient (they commit into evictable entries or
+        # get released), so counting them would nondeterministically
+        # abort pulls that a moment later would fit.  If reservations
+        # truly starve a layer mid-pull, its reserve() fails loudly.
+        if needed > cache.capacity_bytes:
+            raise CacheFull(
+                f"image {manifest.digest} needs {needed} new bytes; cache "
+                f"capacity is {cache.capacity_bytes} B"
+            )
+        metered: Set[str] = set()
+        evictions: List[EvictionRecord] = []
+        sources: List[LayerSource] = []
+        for layer in manifest.layers:
+            layer_start = sim.now
+            joined = False
+            spins = 0
+            while True:
+                if layer.digest in cache:
+                    # Present (possibly only after waiting out a
+                    # concurrent download of the same layer).
+                    cache.touch(layer.digest)
+                    sources.append(
+                        LayerSource(
+                            layer.digest,
+                            layer.size_bytes,
+                            SourceKind.LOCAL,
+                            device,
+                            sim.now - layer_start,
+                        )
+                    )
+                    joined = True
+                    break
+                if cache.is_reserved(layer.digest):
+                    # Another process (concurrent pull or replicator
+                    # copy) is already landing this layer here: join
+                    # its download instead of fetching twice.
+                    other = engine.inflight_to(device, layer.digest)
+                    if other is not None:
+                        try:
+                            yield other.done
+                        except TransferCancelled:
+                            pass  # its owner re-resolves; re-check
+                        continue
+                    # The owner is between attempts at this very
+                    # timestamp; step one queue tick and look again.
+                    spins += 1
+                    if spins > 1000:
+                        raise RegistryError(
+                            f"reservation for {layer.digest} on {device!r} "
+                            f"has no in-flight transfer and no owner "
+                            f"making progress"
+                        )
+                    yield sim.timeout(0.0)
+                    continue
+                break
+            if joined:
+                continue
+            evictions.extend(cache.reserve(layer.digest, layer.size_bytes))
+            excluded: Set[str] = set()
+            while True:
+                try:
+                    best = self.planner.resolve_layer(
+                        layer.digest,
+                        layer.size_bytes,
+                        device,
+                        cache,
+                        exclude_peers=frozenset(excluded),
+                    )
+                except RegistryError:
+                    cache.release(layer.digest)
+                    raise
+                if best.kind is SourceKind.PEER:
+                    if not self.swarm.index.holds(best.source, layer.digest):
+                        cache.release(layer.digest)
+                        raise RegistryError(
+                            f"peer index incoherent: {best.source!r} does not "
+                            f"hold {layer.digest}"
+                        )
+                    try:
+                        transfer = engine.start(
+                            best.source,
+                            device,
+                            layer.size_bytes,
+                            digest=layer.digest,
+                        )
+                    except UploadBudgetExceeded:
+                        excluded.add(best.source)
+                        continue
+                else:
+                    registry = self._registry_named(best.source)
+                    try:
+                        registry.fetch_blob(layer.digest)
+                        if registry.name not in metered:
+                            # May raise (hub rate limiting): the
+                            # reservation must not outlive the pull.
+                            registry.meter_pull(device, sim.now)
+                            metered.add(registry.name)
+                    except Exception:
+                        cache.release(layer.digest)
+                        raise
+                    transfer = engine.start(
+                        registry.name,
+                        device,
+                        layer.size_bytes,
+                        src_is_registry=True,
+                        digest=layer.digest,
+                    )
+                fetch_start = sim.now
+                try:
+                    yield transfer.done
+                except TransferCancelled:
+                    excluded.add(best.source)
+                    continue
+                cache.commit(layer.digest)
+                sources.append(
+                    LayerSource(
+                        layer.digest,
+                        layer.size_bytes,
+                        best.kind,
+                        best.source,
+                        sim.now - fetch_start,
+                    )
+                )
+                self.swarm.record_demand(layer.digest, device)
+                break
+        return P2PPullResult(
+            reference=reference,
+            registry=resolved_registry.name,
+            manifest=manifest,
+            device=device,
+            plan=PullPlan(device=device, layers=tuple(sources)),
+            evictions=tuple(evictions),
+        )
+
+    def _registry_named(self, name: str) -> Registry:
+        for registry in self.planner.registries:
+            if registry.name == name:
+                return registry
+        raise RegistryError(f"no registry named {name!r} in the pull chain")
 
     def pull(
         self,
@@ -550,6 +779,7 @@ class AdaptiveReplicator:
         target_replicas: int = 2,
         decay: float = 0.5,
         max_actions_per_cycle: int = 64,
+        engine: Optional[TransferEngine] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -564,6 +794,11 @@ class AdaptiveReplicator:
         self.target_replicas = target_replicas
         self.decay = decay
         self.max_actions_per_cycle = max_actions_per_cycle
+        #: When set, proactive copies move through the time-resolved
+        #: transfer engine (reserve → transfer → commit) instead of
+        #: landing instantly; ``bytes_replicated`` then counts only
+        #: *delivered* copies.
+        self.engine = engine
         self.history: List[ReplicatorCycle] = []
         self.bytes_replicated = 0
         self._scores: Dict[Tuple[str, str], float] = {}
@@ -646,6 +881,8 @@ class AdaptiveReplicator:
             cache = index.cache_of(target)
             if size > cache.capacity_bytes:
                 continue
+            if cache.is_reserved(digest):
+                continue  # a copy (or pull) of this layer is already in flight
             # A copy needs a real channel from some holder: a region no
             # holder can reach cannot be provisioned peer-to-peer (its
             # first pull will seed it from a registry instead).
@@ -655,8 +892,22 @@ class AdaptiveReplicator:
             seconds = self.swarm.network.device_channel(
                 source, target
             ).transfer_time_s(bytes_to_mb(size))
-            cache.add(digest, size)  # updates the peer index via the hook
-            self.bytes_replicated += size
+            if self.engine is None:
+                cache.add(digest, size)  # updates the peer index via the hook
+                self.bytes_replicated += size
+            else:
+                try:
+                    cache.reserve(digest, size)
+                except CacheFull:
+                    continue
+                try:
+                    transfer = self.engine.start(
+                        source, target, size, digest=digest
+                    )
+                except UploadBudgetExceeded:
+                    cache.release(digest)
+                    continue  # seeder saturated; demand will retrigger
+                self.sim.process(self._deliver(transfer, cache, digest, size))
             return ReplicationAction(
                 digest=digest,
                 region=region,
@@ -666,6 +917,16 @@ class AdaptiveReplicator:
                 seconds=seconds,
             )
         return None
+
+    def _deliver(self, transfer, cache: ImageCache, digest: str, size: int):
+        """Commit a proactive copy when its transfer lands (DES process)."""
+        try:
+            yield transfer.done
+        except TransferCancelled:
+            cache.release(digest)
+            return
+        cache.commit(digest)
+        self.bytes_replicated += size
 
     # ------------------------------------------------------------------
     # convergence diagnostics

@@ -30,6 +30,7 @@ class Event:
         "_triggered",
         "_processed",
         "_consumed",
+        "_voided",
     )
 
     def __init__(self, env: "EventQueue") -> None:
@@ -40,6 +41,18 @@ class Event:
         self._triggered = False
         self._processed = False
         self._consumed = False
+        self._voided = False
+
+    def void(self) -> None:
+        """Retract a scheduled event: it is lazily dropped from the
+        queue without processing — crucially, without advancing the
+        clock to its scheduled time.  Used for obsolete wake-ups (the
+        transfer engine re-arms one on every rate change); a voided
+        event never runs its callbacks.
+        """
+        if self._processed:
+            raise RuntimeError("cannot void a processed event")
+        self._voided = True
 
     def mark_consumed(self) -> None:
         """Record that this event's failure was delivered to a waiter.
@@ -141,15 +154,25 @@ class EventQueue:
             raise ValueError(f"negative delay: {delay}")
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
 
+    def _purge_voided(self) -> None:
+        """Drop retracted events from the head of the heap (lazy
+        deletion: voided entries deeper in the heap are skipped when
+        they surface)."""
+        while self._heap and self._heap[0][2]._voided:
+            heapq.heappop(self._heap)
+
     def empty(self) -> bool:
+        self._purge_voided()
         return not self._heap
 
     def peek_time(self) -> float:
         """Time of the next event; ``inf`` when the queue is empty."""
+        self._purge_voided()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> Event:
         """Advance the clock to the next event and process it."""
+        self._purge_voided()
         if not self._heap:
             raise RuntimeError("step() on an empty event queue")
         time, _, event = heapq.heappop(self._heap)

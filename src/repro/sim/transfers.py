@@ -1,0 +1,515 @@
+"""Time-resolved transfer engine: shared links, fair share, cancellation.
+
+The paper's pull model resolves every transfer analytically — an
+isolated ``Size / BW`` sleep that never contends with anything.  This
+module is the alternative: transfers *occupy* links over simulated
+time.  Each link is a capacity shared among the transfers crossing it;
+rates follow **max-min fairness** (progressive filling), recomputed on
+every transfer start, finish, and cancellation.  A transfer traverses
+a small path of links (source uplink → channel → destination downlink,
+as built by :meth:`~repro.model.network.NetworkModel.transfer_path`)
+and its rate is set by the tightest bottleneck along that path.
+
+On top of the rate model the engine enforces **per-device concurrent
+upload budgets** (a peer can seed only so many transfers at once —
+EdgePier's seeder-contention observation) and supports **mid-transfer
+cancellation** (a departing peer fails its in-flight uploads, and the
+freed bandwidth is redistributed immediately).
+
+Which model a simulation uses is selected by :class:`TransferModel`:
+``ANALYTIC`` keeps the paper-faithful instant-accounting path bit-for-
+bit, ``TIME_RESOLVED`` routes transfers through this engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..model.units import bytes_to_mb, MBIT_PER_MB, transfer_time_s
+from .engine import Simulator
+from .events import Event
+
+#: Residual payload (in MB) below which a transfer counts as finished.
+#: Far above float noise accumulated by settling (≈1e-13 MB), far below
+#: one byte (1e-6 MB), so no real payload is ever silently dropped.
+_EPS_MB = 1e-9
+
+
+class TransferModel(enum.Enum):
+    """How the simulation turns bytes into elapsed time."""
+
+    #: The paper's model: ``Size / BW`` computed analytically, slept in
+    #: one piece, no contention.  Seed experiments reproduce bit-for-bit.
+    ANALYTIC = "analytic"
+    #: Transfers occupy shared links over time via :class:`TransferEngine`.
+    TIME_RESOLVED = "time-resolved"
+
+
+class UploadBudgetExceeded(RuntimeError):
+    """The source device is already at its concurrent-upload budget."""
+
+
+class TransferCancelled(Exception):
+    """Delivered to waiters of a transfer that was cancelled mid-flight."""
+
+    def __init__(self, transfer: "Transfer", reason: str = "") -> None:
+        super().__init__(
+            f"transfer {transfer.src}->{transfer.dst} cancelled"
+            + (f": {reason}" if reason else "")
+        )
+        self.transfer = transfer
+        self.reason = reason
+
+
+class Link:
+    """One shared channel: a capacity and the transfers crossing it."""
+
+    __slots__ = ("name", "capacity_mbps", "transfers", "peak_utilisation_mbps")
+
+    def __init__(self, name: str, capacity_mbps: float) -> None:
+        if capacity_mbps <= 0:
+            raise ValueError(f"link {name!r} capacity must be > 0")
+        self.name = name
+        self.capacity_mbps = capacity_mbps
+        #: Active transfers keyed by transfer id (insertion ordered —
+        #: determinism depends on it).
+        self.transfers: Dict[int, "Transfer"] = {}
+        #: Highest simultaneous allocated rate ever observed (tests use
+        #: this to check fair shares never oversubscribe the link).
+        self.peak_utilisation_mbps = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name!r}, {self.capacity_mbps} Mbit/s, "
+            f"{len(self.transfers)} active)"
+        )
+
+
+class Transfer:
+    """One payload moving through a path of shared links."""
+
+    __slots__ = (
+        "id",
+        "src",
+        "dst",
+        "digest",
+        "size_bytes",
+        "src_is_registry",
+        "links",
+        "latency_s",
+        "done",
+        "requested_s",
+        "completed_s",
+        "cancelled",
+        "remaining_mb",
+        "rate_mbps",
+        "active",
+    )
+
+    def __init__(
+        self,
+        transfer_id: int,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        links: Tuple[Link, ...],
+        latency_s: float,
+        done: Event,
+        requested_s: float,
+        src_is_registry: bool,
+        digest: str,
+    ) -> None:
+        self.id = transfer_id
+        self.src = src
+        self.dst = dst
+        self.digest = digest
+        self.size_bytes = size_bytes
+        self.src_is_registry = src_is_registry
+        self.links = links
+        self.latency_s = latency_s
+        self.done = done
+        self.requested_s = requested_s
+        self.completed_s: Optional[float] = None
+        self.cancelled = False
+        self.remaining_mb = bytes_to_mb(size_bytes)
+        self.rate_mbps = 0.0
+        #: True while the transfer occupies its links (past latency,
+        #: not yet finished/cancelled).
+        self.active = False
+
+    @property
+    def lower_bound_s(self) -> float:
+        """Uncontended completion time: latency + size over the
+        narrowest link of the path.  No schedule can beat it."""
+        if not self.links:
+            return self.latency_s
+        bottleneck = min(link.capacity_mbps for link in self.links)
+        return self.latency_s + transfer_time_s(
+            bytes_to_mb(self.size_bytes), bottleneck
+        )
+
+    @property
+    def seconds(self) -> Optional[float]:
+        """Wall-clock (simulated) duration; None while in flight."""
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.requested_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "cancelled" if self.cancelled
+            else "done" if self.completed_s is not None
+            else "active" if self.active
+            else "latency"
+        )
+        return (
+            f"Transfer#{self.id}({self.src}->{self.dst}, "
+            f"{self.size_bytes} B, {state})"
+        )
+
+
+class TransferEngine:
+    """Shared-bandwidth transfer scheduler on the DES clock.
+
+    One engine serves one simulation: it owns the :class:`Link` objects
+    (materialised lazily from the network's
+    :meth:`~repro.model.network.NetworkModel.transfer_path` specs),
+    tracks every in-flight :class:`Transfer`, and keeps all rates
+    max-min fair.  Rate recomputation runs on every start, finish, and
+    cancellation and costs ``O(active transfers + involved links)`` —
+    there is no per-tick work, so idle links are free.
+
+    Upload budgets
+    --------------
+    ``default_upload_budget`` caps concurrent uploads *per device
+    source* (registries are exempt: their fan-out is the CDN's
+    problem, modelled by their uplink capacity instead).  A saturated
+    source makes :meth:`start` raise :class:`UploadBudgetExceeded`;
+    callers re-resolve to another source.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        default_upload_budget: Optional[int] = None,
+    ) -> None:
+        if default_upload_budget is not None and default_upload_budget < 0:
+            raise ValueError(
+                f"default_upload_budget must be >= 0, got {default_upload_budget}"
+            )
+        self.sim = sim
+        self.network = network
+        self.default_upload_budget = default_upload_budget
+        self._links: Dict[str, Link] = {}
+        self._active: Dict[int, Transfer] = {}
+        self._uploads: Dict[str, Dict[int, Transfer]] = {}
+        self._inbound: Dict[Tuple[str, str], Transfer] = {}
+        self._budgets: Dict[str, Optional[int]] = {}
+        self._ids = itertools.count()
+        self._clock_s = sim.now
+        self._generation = 0
+        self._wake: Optional[Event] = None
+        # diagnostics
+        self.started = 0
+        self.completed = 0
+        self.cancellations = 0
+        self.recomputes = 0
+        self.bytes_completed = 0
+
+    # ------------------------------------------------------------------
+    # upload budgets
+    # ------------------------------------------------------------------
+    def set_upload_budget(self, device: str, budget: Optional[int]) -> None:
+        """Override the concurrent-upload budget for one device."""
+        if budget is not None and budget < 0:
+            raise ValueError(f"upload budget must be >= 0, got {budget}")
+        self._budgets[device] = budget
+
+    def upload_budget(self, device: str) -> Optional[int]:
+        return self._budgets.get(device, self.default_upload_budget)
+
+    def uploads_in_flight(self, device: str) -> int:
+        return len(self._uploads.get(device, ()))
+
+    def can_upload(self, device: str) -> bool:
+        """Whether ``device`` may start one more upload right now."""
+        budget = self.upload_budget(device)
+        return budget is None or self.uploads_in_flight(device) < budget
+
+    # ------------------------------------------------------------------
+    # starting / finishing / cancelling
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        src_is_registry: bool = False,
+        digest: str = "",
+    ) -> Transfer:
+        """Begin moving ``size_bytes`` from ``src`` to ``dst``.
+
+        Returns a :class:`Transfer` whose ``done`` event fires (with
+        the transfer as value) at completion, or fails with
+        :class:`TransferCancelled` if cancelled.  Raises
+        :class:`UploadBudgetExceeded` if a *device* source is already
+        at its budget — no slot is consumed in that case.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        if not src_is_registry and not self.can_upload(src):
+            raise UploadBudgetExceeded(
+                f"{src!r} is at its upload budget "
+                f"({self.uploads_in_flight(src)} in flight)"
+            )
+        specs, latency_s = self.network.transfer_path(
+            src, dst, src_is_registry=src_is_registry
+        )
+        links = tuple(self._link(spec.name, spec.capacity_mbps) for spec in specs)
+        transfer = Transfer(
+            transfer_id=next(self._ids),
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            links=links,
+            latency_s=latency_s,
+            done=self.sim.event(),
+            requested_s=self.sim.now,
+            src_is_registry=src_is_registry,
+            digest=digest,
+        )
+        self.started += 1
+        if not src_is_registry:
+            self._uploads.setdefault(src, {})[transfer.id] = transfer
+        if digest:
+            self._inbound[(dst, digest)] = transfer
+        if latency_s > 0:
+            handshake = self.sim.timeout(latency_s)
+            handshake.add_callback(lambda _evt, t=transfer: self._activate(t))
+        else:
+            self._activate(transfer)
+        return transfer
+
+    def cancel(self, transfer: Transfer, reason: str = "") -> bool:
+        """Abort an in-flight transfer; its bandwidth frees immediately.
+
+        Returns False (no-op) if the transfer already completed or was
+        already cancelled; otherwise fails the transfer's ``done``
+        event with :class:`TransferCancelled`.
+        """
+        if transfer.cancelled or transfer.completed_s is not None:
+            return False
+        transfer.cancelled = True
+        self.cancellations += 1
+        self._release_slot(transfer)
+        if transfer.active:
+            self._settle()
+            self._detach(transfer)
+            self._recompute()
+        transfer.done.fail(TransferCancelled(transfer, reason))
+        return True
+
+    def cancel_uploads_from(self, device: str, reason: str = "") -> int:
+        """Cancel every in-flight upload seeded by ``device``.
+
+        The device-departure hook: a peer leaving the swarm takes its
+        uploads with it.  Returns the number of transfers cancelled.
+        """
+        victims = sorted(
+            self._uploads.get(device, {}).values(), key=lambda t: t.id
+        )
+        for transfer in victims:
+            self.cancel(transfer, reason or f"{device} departed")
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_transfers(self) -> List[Transfer]:
+        return list(self._active.values())
+
+    def inflight_to(self, dst: str, digest: str) -> Optional[Transfer]:
+        """The transfer currently landing ``digest`` on ``dst``, if any.
+
+        Concurrent pulls on one device use this to *join* a download
+        another pull already started (one reservation, one payload on
+        the wire) instead of fetching the layer twice.
+        """
+        return self._inbound.get((dst, digest))
+
+    def link(self, name: str) -> Optional[Link]:
+        return self._links.get(name)
+
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def peak_oversubscription(self) -> float:
+        """Worst observed ``allocated / capacity`` over all links.
+
+        Max-min fairness guarantees this never exceeds 1 (modulo float
+        noise); the Hypothesis invariant tests pin it down.
+        """
+        worst = 0.0
+        for link in self._links.values():
+            worst = max(worst, link.peak_utilisation_mbps / link.capacity_mbps)
+        return worst
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _link(self, name: str, capacity_mbps: float) -> Link:
+        link = self._links.get(name)
+        if link is None:
+            link = Link(name, capacity_mbps)
+            self._links[name] = link
+        elif link.capacity_mbps != capacity_mbps:
+            raise ValueError(
+                f"link {name!r} capacity changed mid-simulation "
+                f"({link.capacity_mbps} -> {capacity_mbps} Mbit/s)"
+            )
+        return link
+
+    def _activate(self, transfer: Transfer) -> None:
+        """Latency elapsed: the transfer joins its links."""
+        if transfer.cancelled:
+            return
+        if transfer.remaining_mb <= _EPS_MB or not transfer.links:
+            # Zero payload (or loopback): done as soon as the
+            # handshake completes — it never occupies a link.
+            self._finish(transfer)
+            return
+        self._settle()
+        transfer.active = True
+        self._active[transfer.id] = transfer
+        for link in transfer.links:
+            link.transfers[transfer.id] = transfer
+        self._recompute()
+
+    def _detach(self, transfer: Transfer) -> None:
+        transfer.active = False
+        self._active.pop(transfer.id, None)
+        for link in transfer.links:
+            link.transfers.pop(transfer.id, None)
+
+    def _release_slot(self, transfer: Transfer) -> None:
+        if not transfer.src_is_registry:
+            slots = self._uploads.get(transfer.src)
+            if slots is not None:
+                slots.pop(transfer.id, None)
+                if not slots:
+                    del self._uploads[transfer.src]
+        if transfer.digest:
+            key = (transfer.dst, transfer.digest)
+            if self._inbound.get(key) is transfer:
+                del self._inbound[key]
+
+    def _finish(self, transfer: Transfer) -> None:
+        self._detach(transfer)
+        self._release_slot(transfer)
+        transfer.completed_s = self.sim.now
+        transfer.remaining_mb = 0.0
+        transfer.rate_mbps = 0.0
+        self.completed += 1
+        self.bytes_completed += transfer.size_bytes
+        transfer.done.succeed(transfer)
+
+    def _settle(self) -> None:
+        """Account progress made at the current rates since the last
+        rate change, bringing every ``remaining_mb`` up to date."""
+        dt = self.sim.now - self._clock_s
+        self._clock_s = self.sim.now
+        if dt <= 0:
+            return
+        for transfer in self._active.values():
+            if transfer.rate_mbps > 0:
+                transfer.remaining_mb = max(
+                    0.0,
+                    transfer.remaining_mb - transfer.rate_mbps / MBIT_PER_MB * dt,
+                )
+
+    def _recompute(self) -> None:
+        """Progressive filling: assign max-min fair rates, then arm a
+        wake-up at the earliest predicted completion."""
+        self.recomputes += 1
+        self._generation += 1
+        # Retract the previously armed wake-up: a stale one must not
+        # drag the clock out to a prediction that no longer holds
+        # (e.g. the sole transfer on a slow link was just cancelled).
+        if self._wake is not None and not self._wake.processed:
+            self._wake.void()
+        self._wake = None
+        if not self._active:
+            return
+        # Only links that carry at least one active transfer matter.
+        capacity_left: Dict[str, float] = {}
+        unfrozen_count: Dict[str, int] = {}
+        involved: List[Link] = []
+        for transfer in self._active.values():
+            for link in transfer.links:
+                if link.name not in capacity_left:
+                    capacity_left[link.name] = link.capacity_mbps
+                    unfrozen_count[link.name] = 0
+                    involved.append(link)
+                unfrozen_count[link.name] += 1
+        frozen: Dict[int, bool] = {}
+        remaining = len(self._active)
+        while remaining > 0:
+            # Bottleneck link: the one whose equal split is smallest.
+            best_link: Optional[Link] = None
+            best_share = 0.0
+            for link in involved:
+                count = unfrozen_count[link.name]
+                if count == 0:
+                    continue
+                share = capacity_left[link.name] / count
+                if best_link is None or share < best_share or (
+                    share == best_share and link.name < best_link.name
+                ):
+                    best_link, best_share = link, share
+            assert best_link is not None  # remaining > 0 implies a link
+            for tid in sorted(best_link.transfers):
+                if tid in frozen:
+                    continue
+                transfer = best_link.transfers[tid]
+                transfer.rate_mbps = best_share
+                frozen[tid] = True
+                remaining -= 1
+                for link in transfer.links:
+                    capacity_left[link.name] = max(
+                        0.0, capacity_left[link.name] - best_share
+                    )
+                    unfrozen_count[link.name] -= 1
+        for link in involved:
+            link.peak_utilisation_mbps = max(
+                link.peak_utilisation_mbps,
+                link.capacity_mbps - capacity_left[link.name],
+            )
+        # Earliest completion under the new rates.
+        next_dt = float("inf")
+        for transfer in self._active.values():
+            if transfer.rate_mbps > 0:
+                next_dt = min(
+                    next_dt,
+                    transfer.remaining_mb * MBIT_PER_MB / transfer.rate_mbps,
+                )
+        if next_dt == float("inf"):  # pragma: no cover - defensive
+            return
+        generation = self._generation
+        wake = self.sim.timeout(next_dt)
+        wake.add_callback(lambda _evt, g=generation: self._on_wake(g))
+        self._wake = wake
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale wake-up: rates changed since it was armed
+        self._settle()
+        finished = [
+            t for t in self._active.values() if t.remaining_mb <= _EPS_MB
+        ]
+        for transfer in sorted(finished, key=lambda t: t.id):
+            self._finish(transfer)
+        self._recompute()

@@ -126,3 +126,59 @@ def test_device_runtime_pulls_through_the_p2p_tier():
     # proportionally faster on the peer-served device.
     assert rec_b.times.deploy_s < rec_a.times.deploy_s
     assert done_first.value.service == "svc"
+
+
+class TestContendedOverlap:
+    """Acceptance: analytic admission overstates P2P savings under
+    overlapping pulls; time-resolved mode is strictly more pessimistic."""
+
+    @pytest.fixture(scope="class")
+    def contended(self):
+        from repro.sim.transfers import TransferModel
+
+        out = {}
+        for model in (TransferModel.ANALYTIC, TransferModel.TIME_RESOLVED):
+            scenario = p2p.build_contended_scenario(n_devices=8)
+            hybrid = p2p.run_mode(
+                scenario, "hybrid", transfer_model=model, upload_budget=2
+            )
+            swarm = p2p.run_mode(
+                scenario, "hybrid+p2p", transfer_model=model, upload_budget=2
+            )
+            out[model] = (hybrid, swarm)
+        return out
+
+    def test_savings_strictly_lower_when_time_resolved(self, contended):
+        from repro.sim.transfers import TransferModel
+
+        saving = {
+            model: hybrid.origin_bytes - swarm.origin_bytes
+            for model, (hybrid, swarm) in contended.items()
+        }
+        assert saving[TransferModel.ANALYTIC] > 0
+        assert (
+            saving[TransferModel.TIME_RESOLVED]
+            < saving[TransferModel.ANALYTIC]
+        )
+
+    def test_hybrid_baseline_bytes_are_model_independent(self, contended):
+        # Without peers there is nothing to mis-attribute: both models
+        # move the same bytes, only on different clocks.
+        origins = {
+            hybrid.origin_bytes for hybrid, _swarm in contended.values()
+        }
+        assert len(origins) == 1
+
+    def test_contention_slows_transfers_down(self, contended):
+        from repro.sim.transfers import TransferModel
+
+        _, analytic_swarm = contended[TransferModel.ANALYTIC]
+        _, resolved_swarm = contended[TransferModel.TIME_RESOLVED]
+        assert resolved_swarm.transfer_s > analytic_swarm.transfer_s
+
+    def test_contended_experiment_table_renders(self):
+        result = p2p.run_contended(n_devices=6)
+        assert [row["model"] for row in result.rows] == [
+            "analytic", "time-resolved",
+        ]
+        assert any("overstates" in note for note in result.notes)

@@ -230,3 +230,130 @@ class TestPullPolicies:
         whole_bytes = sum(r.pull.bytes_transferred for r in whole.records)
         layered_bytes = sum(r.pull.bytes_transferred for r in layered.records)
         assert layered_bytes < whole_bytes
+
+
+class TestPullByteCounters:
+    """The monitor, not the pull plans, is the source of truth for
+    per-source traffic (satellite: peer-served byte metering)."""
+
+    def test_two_tier_rollout_attributes_bytes_to_registries(
+        self, testbed, video_app, plan
+    ):
+        cluster = make_cluster(testbed)
+        controller = ApplicationController(cluster)
+        report = controller.execute(video_app, plan, testbed.references)
+        counters = report.monitor.counters()
+        assert counters["bytes_pulled"] == sum(
+            r.pull.bytes_transferred for r in report.records
+        )
+        assert counters["bytes_from_peers"] == 0
+        by_source = {
+            name[len("bytes_from."):]: value
+            for name, value in counters.items()
+            if name.startswith("bytes_from.")
+        }
+        assert sum(by_source.values()) == counters["bytes_pulled"]
+        assert all(cluster.registry(name) for name in by_source)
+
+    def test_p2p_rollout_meters_peer_bytes(self, testbed):
+        import dataclasses
+
+        from repro.devices.executor import DeviceRuntime
+        from repro.devices.specs import MEDIUM_POWER, MEDIUM_SPEC
+        from repro.model.application import Microservice
+        from repro.model.device import Device
+        from repro.model.network import NetworkModel
+        from repro.orchestrator.kubelet import Kubelet
+        from repro.orchestrator.objects import Pod as PodObj
+        from repro.registry.hub import DockerHub
+        from repro.registry.images import OFFICIAL_BASES, build_image
+        from repro.registry.p2p import P2PRegistry, PeerSwarm
+        from repro.sim.engine import Simulator
+
+        hub = DockerHub(name="docker-hub")
+        mlist, blobs = build_image(
+            "acme/app", 0.5, base=OFFICIAL_BASES["python:3.9-slim"]
+        )
+        hub.push_image("acme/app", "latest", mlist, blobs)
+        network = NetworkModel()
+        network.connect_devices("edge-a", "edge-b", 800.0)
+        for name in ("edge-a", "edge-b"):
+            network.connect_registry("docker-hub", name, 80.0)
+        sim = Simulator()
+        swarm = PeerSwarm(network)
+        facade = P2PRegistry(swarm, [hub])
+        monitor = Monitor()
+        runtimes = {
+            name: DeviceRuntime(
+                sim=sim,
+                device=Device(
+                    spec=dataclasses.replace(MEDIUM_SPEC, name=name),
+                    power=MEDIUM_POWER,
+                    region="lab",
+                ),
+                network=network,
+                p2p=facade,
+            )
+            for name in ("edge-a", "edge-b")
+        }
+        service = Microservice(name="svc", image="acme/app", size_gb=0.5)
+        for i, name in enumerate(("edge-a", "edge-b")):
+            pod = PodObj(
+                name=f"svc-{name}", service="svc", image=ImageReference("acme/app"),
+                node=name, registry=facade.name,
+            )
+            kubelet = Kubelet(runtimes[name], monitor)
+            sim.process(kubelet.run_pod(pod, service, hub))
+            sim.run()
+        counters = monitor.counters()
+        assert counters["bytes_from_peers"] > 0
+        assert counters["bytes_from.edge-a"] == counters["bytes_from_peers"]
+        assert (
+            counters["bytes_from.docker-hub"] + counters["bytes_from_peers"]
+            == counters["bytes_pulled"]
+        )
+
+
+class TestTimeResolvedCluster:
+    """Pulls driven as engine processes instead of analytic sleeps."""
+
+    def test_sequential_rollout_matches_analytic_when_uncontended(
+        self, testbed, video_app, plan
+    ):
+        from repro.sim.transfers import TransferModel
+
+        analytic = ApplicationController(make_cluster(testbed)).execute(
+            video_app, plan, testbed.references
+        )
+        resolved = ApplicationController(
+            make_cluster(testbed, transfer_model=TransferModel.TIME_RESOLVED)
+        ).execute(video_app, plan, testbed.references)
+        # Sequential rollout never overlaps transfers, so fair sharing
+        # degenerates to the analytic size/BW times.
+        assert resolved.makespan_s == pytest.approx(analytic.makespan_s)
+        assert resolved.total_energy_j == pytest.approx(analytic.total_energy_j)
+        by_name = {r.service: r for r in analytic.records}
+        for record in resolved.records:
+            assert record.times.deploy_s == pytest.approx(
+                by_name[record.service].times.deploy_s
+            )
+
+    def test_stage_parallel_contention_cannot_beat_analytic(
+        self, testbed, video_app, plan
+    ):
+        from repro.sim.transfers import TransferModel
+
+        analytic = ApplicationController(make_cluster(testbed)).execute(
+            video_app, plan, testbed.references, mode=ExecutionMode.STAGE_PARALLEL
+        )
+        tr_cluster = make_cluster(
+            testbed, transfer_model=TransferModel.TIME_RESOLVED
+        )
+        resolved = ApplicationController(tr_cluster).execute(
+            video_app, plan, testbed.references, mode=ExecutionMode.STAGE_PARALLEL
+        )
+        # Shared links can only slow concurrent pulls down, never
+        # speed them up past the uncontended analytic bound.
+        assert resolved.makespan_s >= analytic.makespan_s - 1e-9
+        assert tr_cluster.engine is not None
+        assert tr_cluster.engine.peak_oversubscription() <= 1.0 + 1e-9

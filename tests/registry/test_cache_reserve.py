@@ -1,0 +1,228 @@
+"""Reserve → commit admission protocol and listener-delivery hardening.
+
+The protocol backs the time-resolved pull path: in-flight bytes hold
+capacity without being *present*, so subscribers (the peer index) only
+ever see layers that have fully landed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.units import BYTES_PER_GB
+from repro.registry.cache import (
+    CacheFull,
+    ImageCache,
+    ReservationError,
+)
+from repro.registry.digest import digest_text
+
+D = [digest_text(f"layer-{i}") for i in range(8)]
+
+CAPACITY = 100
+
+
+def make_cache() -> ImageCache:
+    return ImageCache(CAPACITY / BYTES_PER_GB, device="edge-r")
+
+
+class TestReserveCommit:
+    def test_reserved_digest_is_not_present_until_commit(self):
+        cache = make_cache()
+        events = []
+        cache.subscribe(lambda e: events.append((e.kind, e.digest)))
+        cache.reserve(D[0], 40)
+        assert D[0] not in cache
+        assert cache.reserved_bytes == 40
+        assert cache.used_bytes == 0
+        assert cache.free_bytes == 60
+        assert events == []  # nothing announced while in flight
+        assert cache.commit(D[0]) is True
+        assert D[0] in cache
+        assert cache.reserved_bytes == 0
+        assert cache.used_bytes == 40
+        assert events == [("add", D[0])]
+
+    def test_release_frees_without_event(self):
+        cache = make_cache()
+        events = []
+        cache.subscribe(lambda e: events.append(e.kind))
+        cache.reserve(D[0], 40)
+        assert cache.release(D[0]) is True
+        assert cache.release(D[0]) is False
+        assert cache.reserved_bytes == 0
+        assert cache.free_bytes == CAPACITY
+        assert events == []
+
+    def test_double_reserve_rejected(self):
+        cache = make_cache()
+        cache.reserve(D[0], 10)
+        with pytest.raises(ReservationError):
+            cache.reserve(D[0], 10)
+
+    def test_reserve_of_present_digest_is_refresh(self):
+        cache = make_cache()
+        cache.add(D[0], 30)
+        cache.add(D[1], 30)
+        assert cache.reserve(D[0], 30) == []
+        assert cache.reserved_bytes == 0
+        # The refresh bumped recency: D[1] is now the LRU victim.
+        cache.add(D[2], 60)
+        assert D[0] in cache and D[1] not in cache
+        # Its commit is a plain recency touch.
+        assert cache.commit(D[0]) is False
+
+    def test_commit_of_unknown_digest_raises(self):
+        cache = make_cache()
+        with pytest.raises(ReservationError):
+            cache.commit(D[0])
+
+    def test_reserve_evicts_lru_entries(self):
+        cache = make_cache()
+        cache.add(D[0], 50)
+        cache.add(D[1], 40)
+        evicted = cache.reserve(D[2], 60)
+        assert [e.digest for e in evicted] == [D[0]]
+        assert D[0] not in cache and D[1] in cache
+
+    def test_reservations_are_not_evictable(self):
+        cache = make_cache()
+        cache.reserve(D[0], 60)
+        cache.reserve(D[1], 30)
+        with pytest.raises(CacheFull):
+            cache.add(D[2], 20)  # only 10 free and nothing to evict
+        with pytest.raises(CacheFull):
+            cache.reserve(D[3], 20)
+
+    def test_oversized_reservation_rejected(self):
+        cache = make_cache()
+        with pytest.raises(CacheFull):
+            cache.reserve(D[0], CAPACITY + 1)
+
+    def test_clear_drops_reservations(self):
+        cache = make_cache()
+        cache.reserve(D[0], 40)
+        cache.clear()
+        assert cache.reserved_bytes == 0
+        with pytest.raises(ReservationError):
+            cache.commit(D[0])
+
+    def test_add_can_still_fill_capacity_alongside_reservations(self):
+        cache = make_cache()
+        cache.reserve(D[0], 30)
+        cache.add(D[1], 50)
+        cache.add(D[2], 20)
+        assert cache.used_bytes == 70 and cache.reserved_bytes == 30
+        # Next insert must evict committed entries, never the reservation.
+        cache.add(D[3], 50)
+        assert cache.reserved_bytes == 30
+        assert cache.used_bytes + cache.reserved_bytes <= CAPACITY
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "reserve", "commit", "release", "remove"]),
+            st.sampled_from(D),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=40,
+    )
+)
+def test_capacity_invariant_under_mixed_operations(ops):
+    cache = make_cache()
+    for op, digest, size in ops:
+        try:
+            if op == "add":
+                cache.add(digest, size)
+            elif op == "reserve":
+                cache.reserve(digest, size)
+            elif op == "commit":
+                cache.commit(digest)
+            elif op == "release":
+                cache.release(digest)
+            else:
+                cache.remove(digest)
+        except (CacheFull, ReservationError):
+            pass
+        assert 0 <= cache.used_bytes + cache.reserved_bytes <= CAPACITY
+        assert cache.used_bytes == sum(s for _, s in cache.entries())
+        assert cache.free_bytes == (
+            CAPACITY - cache.used_bytes - cache.reserved_bytes
+        )
+        # A digest is never both present and reserved... unless add()
+        # raced a reservation, which reserve() itself forbids.
+        for d, _ in cache.entries():
+            if cache.is_reserved(d):
+                pytest.fail(f"{d} both present and reserved")
+
+
+class TestEmitHardening:
+    """Regression: listeners that unsubscribe or raise mid-delivery."""
+
+    def test_listener_unsubscribing_itself_does_not_starve_others(self):
+        cache = make_cache()
+        seen = []
+
+        def flaky(event):
+            seen.append("flaky")
+            cache.unsubscribe(flaky)
+
+        def steady(event):
+            seen.append("steady")
+
+        cache.subscribe(flaky)
+        cache.subscribe(steady)
+        cache.add(D[0], 10)
+        assert seen == ["flaky", "steady"]
+        seen.clear()
+        cache.add(D[1], 10)
+        assert seen == ["steady"]
+
+    def test_subscribing_during_delivery_does_not_deliver_retroactively(self):
+        cache = make_cache()
+        seen = []
+
+        def late(event):
+            seen.append(("late", event.digest))
+
+        def recruiter(event):
+            seen.append(("recruiter", event.digest))
+            cache.subscribe(late)
+
+        cache.subscribe(recruiter)
+        cache.add(D[0], 10)
+        assert seen == [("recruiter", D[0])]
+        cache.add(D[1], 10)
+        assert ("late", D[1]) in seen
+
+    def test_raising_listener_still_lets_others_see_the_event(self):
+        cache = make_cache()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("subscriber bug")
+
+        cache.subscribe(broken)
+        cache.subscribe(lambda e: seen.append(e.digest))
+        with pytest.raises(RuntimeError, match="subscriber bug"):
+            cache.add(D[0], 10)
+        # Delivery completed before the re-raise: state and the other
+        # listener are consistent.
+        assert seen == [D[0]]
+        assert D[0] in cache
+
+    def test_first_of_several_errors_wins(self):
+        cache = make_cache()
+
+        def broken_a(event):
+            raise RuntimeError("first")
+
+        def broken_b(event):
+            raise RuntimeError("second")
+
+        cache.subscribe(broken_a)
+        cache.subscribe(broken_b)
+        with pytest.raises(RuntimeError, match="first"):
+            cache.add(D[0], 10)
