@@ -9,8 +9,12 @@ Usage::
     python -m repro.cli ablations   # A1–A4
     python -m repro.cli p2p         # three-tier registry comparison
     python -m repro.cli p2p-contended  # analytic vs time-resolved pulls
+    python -m repro.cli p2p-gossip  # omniscient vs gossip discovery
     python -m repro.cli all         # everything above
     python -m repro.cli calibration # dump the fitted constants
+
+The swarm experiments accept ``--seed`` to rerun under a different
+random workload/churn realisation.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Callable, Dict, List
 
 from .experiments import ablations, cloud, figure3a, figure3b, p2p, table2, table3
 from .experiments.runner import ExperimentResult
+from .sim.rng import DEFAULT_SEED
 from .workloads.calibration import calibrate
 from .workloads.testbed import build_testbed
 
@@ -58,8 +63,18 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
-                 "p2p", "p2p-contended", "all", "calibration"],
+                 "p2p", "p2p-contended", "p2p-gossip", "all", "calibration"],
         help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=(
+            "root seed for the stochastic swarm experiments "
+            "(p2p / p2p-contended / p2p-gossip); other artefacts are "
+            "deterministic and ignore it"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -74,8 +89,9 @@ def main(argv: List[str] = None) -> int:
         "fig3a": lambda: figure3a.run(testbed),
         "fig3b": lambda: figure3b.run(testbed),
         "cloud": lambda: cloud.run(testbed),
-        "p2p": lambda: p2p.run(),
-        "p2p-contended": lambda: p2p.run_contended(),
+        "p2p": lambda: p2p.run(seed=args.seed),
+        "p2p-contended": lambda: p2p.run_contended(seed=args.seed),
+        "p2p-gossip": lambda: p2p.run_gossip(seed=args.seed),
     }
     selected: List[str]
     if args.experiment == "all":

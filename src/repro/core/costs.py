@@ -11,9 +11,12 @@ onto a device cost zero deployment time there.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.transfers import TransferEngine
 
 from ..model.application import Application, Microservice
 from ..model.metrics import (
@@ -145,14 +148,26 @@ class CostTable:
         (P2P tier): ``Td = Size / max(BW_gj, BW_kj)`` over committed
         holders ``k`` with a channel to the target.  Off by default so
         the paper's two-tier numbers are reproduced unchanged.
+    engine:
+        Optional live :class:`~repro.sim.transfers.TransferEngine`.
+        When given, peer-vs-registry deployment estimates use the
+        engine's *current* fair-share link rates instead of nominal
+        analytic ``Size/BW`` — a congested seeder or saturated
+        registry egress stops looking attractive the moment it is
+        busy.  Off by default (analytic estimates, unchanged numbers).
     """
 
     def __init__(
-        self, app: Application, env: Environment, peer_transfers: bool = False
+        self,
+        app: Application,
+        env: Environment,
+        peer_transfers: bool = False,
+        engine: Optional["TransferEngine"] = None,
     ) -> None:
         self.app = app
         self.env = env
         self.peer_transfers = peer_transfers
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # the P2P deployment term
@@ -163,7 +178,10 @@ class CostTable:
         """Fastest peer-sourced deployment of ``service`` onto a device.
 
         Returns ``(seconds, peer)``; ``(inf, "")`` when no committed
-        holder of the image has a channel to ``device_name``.
+        holder of the image has a channel to ``device_name``.  With a
+        live engine the per-peer estimate reflects the seeder's
+        *current* contended rate, so a peer mid-upload scores worse
+        than an idle one.
         """
         best_s = float("inf")
         best_peer = ""
@@ -171,11 +189,26 @@ class CostTable:
         for peer in state.peer_holders(service.image, exclude=device_name):
             if not self.env.network.has_device_channel(peer, device_name):
                 continue
-            channel = self.env.network.device_channel(peer, device_name)
-            seconds = channel.transfer_time_s(size_mb)
+            if self.engine is not None:
+                seconds = self.engine.estimated_transfer_s(
+                    peer, device_name, size_mb
+                )
+            else:
+                channel = self.env.network.device_channel(peer, device_name)
+                seconds = channel.transfer_time_s(size_mb)
             if seconds < best_s:
                 best_s, best_peer = seconds, peer
         return best_s, best_peer
+
+    def registry_deploy_seconds(
+        self, registry: str, device_name: str, size_gb: float
+    ) -> float:
+        """Registry-sourced ``Td`` — engine-aware when one is attached."""
+        if self.engine is not None:
+            return self.engine.estimated_transfer_s(
+                registry, device_name, gb_to_mb(size_gb), src_is_registry=True
+            )
+        return self.env.network.deployment_time_s(registry, device_name, size_gb)
 
     def transfer_source(
         self,
@@ -195,7 +228,7 @@ class CostTable:
             return "cached"
         if self.peer_transfers:
             peer_s, peer = self.peer_deploy_seconds(state, service, device_name)
-            registry_s = self.env.network.deployment_time_s(
+            registry_s = self.registry_deploy_seconds(
                 registry, device_name, service.cold_pull_gb
             )
             if peer and peer_s < registry_s:
@@ -222,6 +255,16 @@ class CostTable:
         times = phase_times(
             service, device, self.env.network, registry, incoming, cached
         )
+        if not cached and self.engine is not None:
+            # Contention-aware Td: the registry path priced at the
+            # engine's current fair-share rate, not nominal bandwidth.
+            times = PhaseTimes(
+                self.registry_deploy_seconds(
+                    registry, device_name, service.cold_pull_gb
+                ),
+                times.transfer_s,
+                times.compute_s,
+            )
         if self.peer_transfers and not cached:
             peer_s, peer = self.peer_deploy_seconds(state, service, device_name)
             if peer and peer_s < times.deploy_s:

@@ -75,9 +75,16 @@ class SchedulerBase:
     #: table folds peer-sourced deployment times into ``Td``.
     peer_transfers = False
 
+    #: Optional live :class:`~repro.sim.transfers.TransferEngine`:
+    #: contention-aware schedulers attach one so deployment estimates
+    #: reflect current link utilisation instead of nominal ``size/BW``.
+    engine = None
+
     def schedule(self, app: Application, env: Environment) -> ScheduleResult:
         """Produce a full plan for ``app`` in ``env``."""
-        table = CostTable(app, env, peer_transfers=self.peer_transfers)
+        table = CostTable(
+            app, env, peer_transfers=self.peer_transfers, engine=self.engine
+        )
         state = SchedulerState()
         plan = PlacementPlan(application=app.name)
         records: List[CostRecord] = []
@@ -182,16 +189,35 @@ class CacheAffinityScheduler(SchedulerBase):
     ``peer_transfers`` is on, so the underlying cost matrix already
     prices peer-sourced deployments into ``Td`` — the discounts bias
     *placement* toward layer-sharing devices on top of that.
+
+    Attaching a live :class:`~repro.sim.transfers.TransferEngine`
+    closes the loop with the time-resolved transfer layer: deployment
+    estimates in the cost matrix use the engine's *current* fair-share
+    link rates (a congested channel prices higher than an idle one),
+    and the peer-affinity discount is withheld from seeders that are
+    already at their concurrent-upload budget — a saturated peer is no
+    peer at all.
     """
 
     name = "cache-affinity"
     peer_transfers = True
 
-    def __init__(self, local_weight: float = 0.3, peer_weight: float = 0.15) -> None:
+    def __init__(
+        self,
+        local_weight: float = 0.3,
+        peer_weight: float = 0.15,
+        engine=None,
+    ) -> None:
         if not 0.0 <= local_weight < 1.0 or not 0.0 <= peer_weight < 1.0:
             raise ValueError("affinity weights must be in [0, 1)")
         self.local_weight = local_weight
         self.peer_weight = peer_weight
+        self.engine = engine
+
+    def _usable_peer(self, peer: str, device: str, env: Environment) -> bool:
+        if not env.network.has_device_channel(peer, device):
+            return False
+        return self.engine is None or self.engine.can_upload(peer)
 
     def choose(
         self, costs: CostMatrix, state: SchedulerState, env: Environment
@@ -205,7 +231,7 @@ class CacheAffinityScheduler(SchedulerBase):
             if state.is_cached(device, costs.image):
                 discount = 1.0 - self.local_weight
             elif any(
-                env.network.has_device_channel(peer, device)
+                self._usable_peer(peer, device, env)
                 for peer in state.peer_holders(costs.image, exclude=device)
             ):
                 discount = 1.0 - self.peer_weight

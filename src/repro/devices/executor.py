@@ -110,6 +110,11 @@ class DeviceRuntime:
         self.intensity = intensity
         self.p2p = p2p
         if p2p is not None:
+            # The discovery backend's processes (gossip anti-entropy
+            # rounds) must tick on this runtime's clock; binding is a
+            # no-op for the omniscient default or when the cluster
+            # already bound it.
+            p2p.swarm.discovery.bind(sim)
             # Joining the swarm publishes this device's cache contents
             # to the peer index (and keeps them published via the
             # cache subscription hook).

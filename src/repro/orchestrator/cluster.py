@@ -39,6 +39,11 @@ class Cluster:
         self.pull_policy = pull_policy
         self.intensity = intensity
         self.p2p = p2p
+        if p2p is not None:
+            # The discovery backend runs its processes (gossip
+            # anti-entropy rounds) on the cluster's clock; binding is a
+            # no-op for the omniscient default.
+            p2p.swarm.discovery.bind(self.sim)
         self.transfer_model = transfer_model
         #: The fleet-wide shared-bandwidth engine (time-resolved mode).
         #: Created lazily at first node registration when not injected,

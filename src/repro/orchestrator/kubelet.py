@@ -97,6 +97,12 @@ class Kubelet:
         self.monitor.count(
             "bytes_from_peers", getattr(record.pull, "bytes_from_peers", 0)
         )
+        # Stale discovery entries this pull tripped over (gossip views
+        # pointing at evicted layers or departed holders); 0 on the
+        # two-tier path and under omniscient discovery.
+        self.monitor.count(
+            "stale_peer_misses", getattr(record.pull, "stale_peer_misses", 0)
+        )
         for source, count in sorted(self._bytes_by_source(record).items()):
             self.monitor.count(f"bytes_from.{source}", count)
         return record

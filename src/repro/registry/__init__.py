@@ -6,6 +6,12 @@ from .blobstore import BlobNotFound, BlobRecord, BlobStore
 from .cache import CacheEvent, CacheFull, EvictionRecord, ImageCache
 from .client import PullPolicy, PullResult, RegistryClient
 from .digest import digest_bytes, digest_text, is_digest, short_digest
+from .discovery import (
+    DiscoveryBackend,
+    GossipDiscovery,
+    OmniscientDiscovery,
+    ViewRecord,
+)
 from .hub import DockerHub, PointOfPresence, PullRateLimiter, RateLimitExceeded
 from .images import OFFICIAL_BASES, BaseImage, build_image, split_sizes, synthetic_blob
 from .manifest import ImageManifest, LayerDescriptor, ManifestList
@@ -43,8 +49,10 @@ __all__ = [
     "BucketAlreadyExists",
     "CacheEvent",
     "CacheFull",
+    "DiscoveryBackend",
     "DockerHub",
     "EvictionRecord",
+    "GossipDiscovery",
     "ImageCache",
     "ImageManifest",
     "ImageReference",
@@ -58,6 +66,7 @@ __all__ = [
     "NoSuchKey",
     "OFFICIAL_BASES",
     "ObjectInfo",
+    "OmniscientDiscovery",
     "P2PPullResult",
     "P2PRegistry",
     "PeerIndex",
@@ -79,6 +88,7 @@ __all__ = [
     "Repository",
     "RepositoryIndex",
     "SourceKind",
+    "ViewRecord",
     "build_image",
     "digest_bytes",
     "digest_text",

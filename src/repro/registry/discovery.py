@@ -1,0 +1,422 @@
+"""Pluggable peer discovery: how devices find layer replicas.
+
+The P2P tier needs an answer to one question — *which peers hold this
+digest, as far as this device knows?* — and everything downstream
+(:class:`~repro.registry.p2p.PullPlanner`, the time-resolved pull
+process, the :class:`~repro.registry.p2p.AdaptiveReplicator`) consumes
+that answer.  This module extracts the question into a protocol with
+two implementations:
+
+:class:`OmniscientDiscovery`
+    Wraps the ground-truth :class:`~repro.registry.p2p.PeerIndex`:
+    every device sees every committed replica instantly and exactly.
+    This is the historical behaviour and stays the default — outputs
+    are bit-for-bit identical to the pre-refactor code.
+
+:class:`GossipDiscovery`
+    Per-device **partial views** converging via periodic anti-entropy
+    exchanges (push-pull, seeded fanout), scheduled as ordinary
+    sim-engine processes.  Views lag reality by up to a gossip period
+    and survive holder departures, so *staleness is a first-class
+    failure mode*: a view entry that resolves to an evicted or
+    departed holder fails verification against the ground-truth index,
+    the miss is metered, and the pull falls back through the registry
+    chain (regional → hub).
+
+Versioning
+----------
+Gossip records are ``(incarnation, seq, present)`` triples per
+``(holder, digest)``.  ``seq`` is the holder's own monotone event
+counter (every cache add/evict/remove bumps it), ``incarnation`` bumps
+each time the holder re-joins the swarm — so a device re-joining with
+a stale cache cannot be shadowed by tombstones from its previous life.
+Merges keep the strictly newer record; on a version tie the *absent*
+record wins, which makes local stale-miss suppression sticky (a viewer
+that observed a holder to be stale never un-observes it from
+equally-old gossip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from .cache import CacheEvent, ImageCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.engine import Simulator
+    from .p2p import PeerIndex
+
+
+@dataclass(frozen=True)
+class ViewRecord:
+    """One gossip fact: holder × digest at a version."""
+
+    incarnation: int
+    seq: int
+    present: bool
+
+    @property
+    def version(self) -> Tuple[int, int]:
+        return (self.incarnation, self.seq)
+
+
+def _newer(incoming: ViewRecord, current: Optional[ViewRecord]) -> bool:
+    """Merge rule: strictly newer version wins; ties keep *absent*."""
+    if current is None:
+        return True
+    if incoming.version != current.version:
+        return incoming.version > current.version
+    return current.present and not incoming.present
+
+
+class DiscoveryBackend:
+    """The replica-lookup surface of the P2P tier.
+
+    ``authoritative`` declares whether :meth:`view` is ground truth: an
+    authoritative backend whose answer fails verification is an index
+    coherence *bug* (raise), a non-authoritative one has merely served
+    a stale entry (meter the miss, fall back).
+    """
+
+    authoritative = True
+
+    #: Total stale view entries that failed holder verification.
+    stale_misses = 0
+
+    #: Name the management plane (the replicator) verifies as — gossip
+    #: backends key their observer view on it.
+    observer = "__management__"
+
+    # -- membership ----------------------------------------------------
+    def on_join(self, device: str, cache: ImageCache, region: str) -> None:
+        """``device`` joined the swarm with ``cache``."""
+
+    def on_leave(self, device: str) -> None:
+        """``device`` departed (its cache may return later, stale)."""
+
+    # -- lookups -------------------------------------------------------
+    def view(self, viewer: str, digest: str) -> FrozenSet[str]:
+        """Holders of ``digest`` as seen *by ``viewer``* (may be stale)."""
+        raise NotImplementedError
+
+    def management_view(self, digest: str) -> FrozenSet[str]:
+        """Holders as seen by the management plane (the replicator)."""
+        raise NotImplementedError
+
+    def size_of(self, digest: str) -> Optional[int]:
+        """Known size of ``digest`` in bytes (None if never observed)."""
+        raise NotImplementedError
+
+    # -- staleness feedback --------------------------------------------
+    def record_miss(self, viewer: str, holder: str, digest: str) -> None:
+        """``viewer`` verified ``holder`` and found the entry stale."""
+
+    # -- wiring --------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        """Attach the simulator that schedules this backend's processes."""
+
+
+class OmniscientDiscovery(DiscoveryBackend):
+    """Perfect, instantaneous global knowledge (the historical model).
+
+    Wraps the swarm's ground-truth :class:`PeerIndex`; every viewer —
+    devices and the management plane alike — sees exactly the committed
+    replica set.  Verification can never fail, so a failed verification
+    against this backend raises (index incoherence is a bug).
+    """
+
+    authoritative = True
+
+    def __init__(self, index: "PeerIndex") -> None:
+        self.index = index
+
+    def view(self, viewer: str, digest: str) -> FrozenSet[str]:
+        return self.index.holders(digest)
+
+    def management_view(self, digest: str) -> FrozenSet[str]:
+        return self.index.holders(digest)
+
+    def size_of(self, digest: str) -> Optional[int]:
+        return self.index.size_of(digest)
+
+
+class GossipDiscovery(DiscoveryBackend):
+    """Partial views converging via seeded push-pull anti-entropy.
+
+    Every ``period_s`` simulated seconds each participant (every swarm
+    member plus one management-plane ``observer``) picks ``fanout``
+    random partners and exchanges its knowledge — its own first-hand
+    cache state plus everything second-hand it has heard.  Merging
+    follows the versioning rules in the module docstring; per digest a
+    view keeps at most ``view_cap`` *present* entries (the freshest
+    ones), which is what makes the views partial rather than
+    eventually-global.
+
+    The backend is **not authoritative**: callers must verify a chosen
+    holder against ground truth and report failures via
+    :meth:`record_miss`, which suppresses the stale entry locally and
+    increments :attr:`stale_misses`.
+    """
+
+    authoritative = False
+
+    def __init__(
+        self,
+        sim: Optional["Simulator"] = None,
+        fanout: int = 2,
+        period_s: float = 30.0,
+        view_cap: int = 8,
+        seed: int = 0,
+        observer: str = "__management__",
+    ) -> None:
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        if view_cap < 1:
+            raise ValueError(f"view_cap must be >= 1, got {view_cap}")
+        self.sim = sim
+        self.fanout = fanout
+        self.period_s = period_s
+        self.view_cap = view_cap
+        self.observer = observer
+        self._rng = np.random.default_rng(seed)
+        # viewer -> digest -> holder -> record (second-hand knowledge;
+        # a viewer's knowledge about itself lives in _firsthand only).
+        self._views: Dict[str, Dict[str, Dict[str, ViewRecord]]] = {
+            observer: {}
+        }
+        # device -> digest -> record (authoritative self-knowledge).
+        self._firsthand: Dict[str, Dict[str, ViewRecord]] = {}
+        self._clock: Dict[str, int] = {}
+        self._incarnation: Dict[str, int] = {}
+        self._caches: Dict[str, ImageCache] = {}
+        self._listeners: Dict[str, object] = {}
+        self._sizes: Dict[str, int] = {}
+        self._process = None
+        # diagnostics
+        self.rounds = 0
+        self.exchanges = 0
+        self.stale_misses = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def on_join(self, device: str, cache: ImageCache, region: str) -> None:
+        if device in self._caches:
+            raise ValueError(f"device {device!r} already gossiping")
+        if device == self.observer:
+            raise ValueError(f"{device!r} collides with the observer name")
+        self._incarnation[device] = self._incarnation.get(device, 0) + 1
+        self._clock[device] = 0
+        self._caches[device] = cache
+        self._firsthand[device] = {}
+        self._views.setdefault(device, {})
+
+        def listener(event: CacheEvent, _device: str = device) -> None:
+            self._on_cache_event(_device, event)
+
+        self._listeners[device] = listener
+        cache.subscribe(listener)
+        for digest, size in cache.entries():
+            self._note_firsthand(device, digest, size, present=True)
+        self._ensure_started()
+
+    def on_leave(self, device: str) -> None:
+        cache = self._caches.pop(device, None)
+        if cache is None:
+            raise ValueError(f"device {device!r} not gossiping")
+        cache.unsubscribe(self._listeners.pop(device))
+        # First-hand state and the device's view die with it; the
+        # incarnation counter survives so a re-join outranks any gossip
+        # from the previous life.  Other views keep their (now
+        # potentially stale) entries about the device — that is the
+        # failure mode this backend exists to model.
+        del self._firsthand[device]
+        del self._clock[device]
+        self._views.pop(device, None)
+
+    def _on_cache_event(self, device: str, event: CacheEvent) -> None:
+        self._note_firsthand(
+            device, event.digest, event.size_bytes, present=(event.kind == "add")
+        )
+
+    def _note_firsthand(
+        self, device: str, digest: str, size_bytes: int, present: bool
+    ) -> None:
+        self._clock[device] += 1
+        self._firsthand[device][digest] = ViewRecord(
+            self._incarnation[device], self._clock[device], present
+        )
+        if present:
+            self._sizes[digest] = size_bytes
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def view(self, viewer: str, digest: str) -> FrozenSet[str]:
+        records = self._views.get(viewer, {}).get(digest)
+        if not records:
+            return frozenset()
+        return frozenset(h for h, r in records.items() if r.present)
+
+    def management_view(self, digest: str) -> FrozenSet[str]:
+        return self.view(self.observer, digest)
+
+    def size_of(self, digest: str) -> Optional[int]:
+        return self._sizes.get(digest)
+
+    def participants(self) -> List[str]:
+        return sorted(self._caches) + [self.observer]
+
+    # ------------------------------------------------------------------
+    # staleness feedback
+    # ------------------------------------------------------------------
+    def record_miss(self, viewer: str, holder: str, digest: str) -> None:
+        self.stale_misses += 1
+        records = self._views.get(viewer, {}).get(digest)
+        if records is None:
+            return
+        current = records.get(holder)
+        if current is not None and current.present:
+            # Suppress locally at the same version: the tie-breaking
+            # merge rule (absent wins ties) keeps the suppression from
+            # being revived by equally-old gossip.
+            records[holder] = ViewRecord(
+                current.incarnation, current.seq, False
+            )
+
+    # ------------------------------------------------------------------
+    # anti-entropy rounds
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        if self.sim is not None and self.sim is not sim and self._process is not None:
+            raise ValueError("gossip discovery already bound to another simulator")
+        self.sim = sim
+        self._ensure_started()
+
+    def _ensure_started(self) -> None:
+        if self.sim is not None and self._process is None and self._caches:
+            self._process = self.sim.process(self._run())
+
+    def _run(self):
+        # Daemon wake-ups: anti-entropy ticks forever but must not keep
+        # a horizonless sim.run() from terminating.
+        while True:
+            yield self.sim.timeout(self.period_s, daemon=True)
+            self.run_round()
+
+    def run_round(self) -> None:
+        """One synchronous anti-entropy round over all participants.
+
+        Every participant's outgoing payload is snapshotted at round
+        start (knowledge received *this* round is forwarded next round
+        — one hop per round, the classic synchronous-gossip model),
+        then each participant push-pulls with ``fanout`` seeded random
+        partners.  Public so tests (and convergence measurements) can
+        step rounds without a simulator.
+        """
+        names = self.participants()
+        if len(names) < 2:
+            return
+        payloads = {name: self._payload(name) for name in names}
+        for name in names:
+            others = [p for p in names if p != name]
+            k = min(self.fanout, len(others))
+            partners = self._rng.choice(len(others), size=k, replace=False)
+            for idx in sorted(int(i) for i in partners):
+                partner = others[idx]
+                self.exchanges += 1
+                self._merge(partner, payloads[name])
+                self._merge(name, payloads[partner])
+        self.rounds += 1
+
+    def _exchange(self, a: str, b: str) -> None:
+        """One immediate push-pull between ``a`` and ``b`` (tests)."""
+        self.exchanges += 1
+        payload_a = self._payload(a)
+        payload_b = self._payload(b)
+        self._merge(b, payload_a)
+        self._merge(a, payload_b)
+
+    def _payload(self, name: str) -> List[Tuple[str, str, ViewRecord]]:
+        """Everything ``name`` knows: first-hand state + its view."""
+        out: List[Tuple[str, str, ViewRecord]] = []
+        firsthand = self._firsthand.get(name)
+        if firsthand is not None:
+            for digest, record in firsthand.items():
+                out.append((name, digest, record))
+        for digest, records in self._views.get(name, {}).items():
+            for holder, record in records.items():
+                out.append((holder, digest, record))
+        return out
+
+    def _merge(
+        self, viewer: str, payload: List[Tuple[str, str, ViewRecord]]
+    ) -> None:
+        view = self._views.get(viewer)
+        if view is None:
+            return  # viewer departed mid-round
+        touched: Set[str] = set()
+        for holder, digest, record in payload:
+            if holder == viewer:
+                continue  # self-knowledge is first-hand only
+            records = view.setdefault(digest, {})
+            if _newer(record, records.get(holder)):
+                records[holder] = record
+                touched.add(digest)
+        for digest in touched:
+            self._enforce_cap(view[digest])
+
+    def _enforce_cap(self, records: Dict[str, ViewRecord]) -> None:
+        """Keep at most ``view_cap`` present and ``view_cap`` absent
+        entries per digest (freshest win).
+
+        Capping tombstones too keeps view memory bounded at
+        ``2·view_cap`` records per digest under sustained churn; an
+        early-dropped tombstone can at worst let an old rumour
+        resurface, which the verification path then meters and
+        re-suppresses (self-healing).
+        """
+        for wanted in (True, False):
+            matching = [
+                (h, r) for h, r in records.items() if r.present is wanted
+            ]
+            if len(matching) <= self.view_cap:
+                continue
+            matching.sort(
+                key=lambda item: (item[1].version, item[0]), reverse=True
+            )
+            for holder, _record in matching[self.view_cap:]:
+                del records[holder]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def coverage(self, index: "PeerIndex") -> float:
+        """Mean fraction of true holders visible per (member, digest).
+
+        1.0 means every member's view contains every committed replica
+        (up to the view cap this only holds when ``view_cap`` exceeds
+        the replica count); 0.0 means views are empty.  Digests nobody
+        holds are skipped.
+        """
+        ratios: List[float] = []
+        for viewer in self._caches:
+            for digest in index.tracked_digests():
+                truth = index.holders(digest) - {viewer}
+                if not truth:
+                    continue
+                seen = self.view(viewer, digest) & truth
+                want = min(len(truth), self.view_cap)
+                ratios.append(len(seen) / want)
+        if not ratios:
+            return 1.0
+        return float(sum(ratios) / len(ratios))
+
+    def view_entries(self, viewer: str) -> int:
+        """Total records in ``viewer``'s partial view (cap diagnostics)."""
+        return sum(len(r) for r in self._views.get(viewer, {}).values())

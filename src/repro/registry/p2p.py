@@ -45,6 +45,7 @@ from ..sim.transfers import (
 )
 from .base import ImageReference, Registry, RegistryError
 from .cache import CacheEvent, CacheFull, CacheListener, EvictionRecord, ImageCache
+from .discovery import DiscoveryBackend, OmniscientDiscovery
 from .manifest import ImageManifest
 from .repository import ManifestNotFound
 
@@ -154,11 +155,29 @@ class PeerSwarm:
     can reach which device, at what bandwidth), groups devices into
     regions for the replicator, and accumulates the per-region pull
     demand the replicator's continuous reasoning runs on.
+
+    Replica *lookups* go through a pluggable
+    :class:`~repro.registry.discovery.DiscoveryBackend`: the default
+    :class:`~repro.registry.discovery.OmniscientDiscovery` wraps the
+    ground-truth index (every device sees every committed replica,
+    the historical behaviour, bit-for-bit), while
+    :class:`~repro.registry.discovery.GossipDiscovery` gives each
+    device a partial, possibly stale view that converges via
+    anti-entropy rounds.  The index itself stays authoritative — it is
+    what :meth:`verify_holder` checks chosen sources against.
     """
 
-    def __init__(self, network: NetworkModel, index: Optional[PeerIndex] = None) -> None:
+    def __init__(
+        self,
+        network: NetworkModel,
+        index: Optional[PeerIndex] = None,
+        discovery: Optional[DiscoveryBackend] = None,
+    ) -> None:
         self.network = network
         self.index = index if index is not None else PeerIndex()
+        self.discovery = (
+            discovery if discovery is not None else OmniscientDiscovery(self.index)
+        )
         self._regions: Dict[str, str] = {}
         self._members: Dict[str, Set[str]] = {}
         self._demand: Dict[Tuple[str, str], int] = {}
@@ -174,6 +193,7 @@ class PeerSwarm:
         self.index.register_cache(device, cache)
         self._regions[device] = region
         self._members.setdefault(region, set()).add(device)
+        self.discovery.on_join(device, cache, region)
 
     def remove_device(
         self, device: str, engine: Optional["TransferEngine"] = None
@@ -185,6 +205,7 @@ class PeerSwarm:
         ``engine`` is given, every upload the device was seeding is
         cancelled so its customers re-resolve to other sources.
         """
+        self.discovery.on_leave(device)
         self.index.unregister_cache(device)
         region = self._regions.pop(device)
         members = self._members.get(region)
@@ -222,10 +243,16 @@ class PeerSwarm:
         a real swarm gossips over — and checked before falling back to
         a full scan, which keeps the lookup fast in large swarms where
         a hot layer may have hundreds of holders.  ``exclude`` names
-        peers the caller already found saturated or departed; they are
-        skipped so a re-resolution never returns the same dead end.
+        peers the caller already found saturated, departed, or stale;
+        they are skipped so a re-resolution never returns the same
+        dead end.
+
+        Holders come from the discovery backend **as seen by
+        ``device``** — under gossip discovery the answer may be stale
+        (an entry for an evicted layer or a departed peer); callers on
+        the pull path must :meth:`verify_holder` before transferring.
         """
-        holders = self.index.holders(digest) - exclude
+        holders = self.discovery.view(device, digest) - exclude
         if not holders:
             return None
         region = self._regions.get(device)
@@ -237,15 +264,52 @@ class PeerSwarm:
         return self._fastest(holders - {device}, device)
 
     def _fastest(self, candidates: Iterable[str], device: str) -> Optional[str]:
-        best: Optional[str] = None
-        best_key: Optional[Tuple[float, str]] = None
-        for peer in candidates:
-            if not self.network.has_device_channel(peer, device):
-                continue
-            key = (-self.network.device_bandwidth_mbps(peer, device), peer)
-            if best_key is None or key < best_key:
-                best, best_key = peer, key
-        return best
+        """Highest-bandwidth reachable candidate.
+
+        The key is explicitly ``(-bandwidth, name)`` over the *sorted*
+        candidate list, so equal-bandwidth ties always resolve to the
+        lexicographically smallest device name — independent of set
+        iteration order, hash seeds, or Python version.  Gossip/churn
+        sweeps rely on this for reproducibility.
+        """
+        reachable = [
+            peer
+            for peer in sorted(candidates)
+            if self.network.has_device_channel(peer, device)
+        ]
+        if not reachable:
+            return None
+        return min(
+            reachable,
+            key=lambda peer: (
+                -self.network.device_bandwidth_mbps(peer, device),
+                peer,
+            ),
+        )
+
+    def verify_holder(self, viewer: str, holder: str, digest: str) -> bool:
+        """Check a discovered holder against the ground-truth index.
+
+        True when ``holder`` really holds ``digest``.  When it does not:
+        an authoritative backend has an index coherence bug (raise);
+        a gossip backend served a stale view entry — the miss is
+        metered, the viewer's view is corrected, and False is returned
+        so the caller can exclude the holder and fall back through
+        regional → hub.
+        """
+        if self.index.holds(holder, digest):
+            return True
+        if self.discovery.authoritative:
+            raise RegistryError(
+                f"peer index incoherent: {holder!r} does not hold {digest}"
+            )
+        self.discovery.record_miss(viewer, holder, digest)
+        return False
+
+    @property
+    def stale_peer_misses(self) -> int:
+        """Swarm-wide stale view entries caught by verification."""
+        return self.discovery.stale_misses
 
     # ------------------------------------------------------------------
     # demand accounting (consumed by the adaptive replicator)
@@ -420,6 +484,10 @@ class P2PPullResult:
     device: str
     plan: PullPlan
     evictions: Tuple[EvictionRecord, ...] = ()
+    #: Discovered peer sources that failed ground-truth verification
+    #: during this pull (stale view entries: evicted layers, departed
+    #: holders).  Always 0 under omniscient discovery.
+    stale_peer_misses: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -541,6 +609,7 @@ class P2PRegistry:
         metered: Set[str] = set()
         evictions: List[EvictionRecord] = []
         sources: List[LayerSource] = []
+        stale_misses = 0
         for layer in manifest.layers:
             layer_start = sim.now
             joined = False
@@ -601,12 +670,20 @@ class P2PRegistry:
                     cache.release(layer.digest)
                     raise
                 if best.kind is SourceKind.PEER:
-                    if not self.swarm.index.holds(best.source, layer.digest):
-                        cache.release(layer.digest)
-                        raise RegistryError(
-                            f"peer index incoherent: {best.source!r} does not "
-                            f"hold {layer.digest}"
+                    try:
+                        verified = self.swarm.verify_holder(
+                            device, best.source, layer.digest
                         )
+                    except RegistryError:
+                        cache.release(layer.digest)
+                        raise
+                    if not verified:
+                        # Stale view entry (gossip): the miss is already
+                        # metered; exclude the dead end and re-resolve —
+                        # the fallback chain ends at regional → hub.
+                        stale_misses += 1
+                        excluded.add(best.source)
+                        continue
                     try:
                         transfer = engine.start(
                             best.source,
@@ -661,6 +738,7 @@ class P2PRegistry:
             device=device,
             plan=PullPlan(device=device, layers=tuple(sources)),
             evictions=tuple(evictions),
+            stale_peer_misses=stale_misses,
         )
 
     def _registry_named(self, name: str) -> Registry:
@@ -679,12 +757,25 @@ class P2PRegistry:
     ) -> P2PPullResult:
         """Resolve, plan, verify sources, and admit layers into ``cache``.
 
-        Demand is recorded against the swarm for every layer that had
-        to move (local hits need no replication), which is the signal
-        the adaptive replicator consumes.
+        Each layer's source is resolved through the discovery backend
+        and **verified** against the ground-truth index before it
+        counts: a stale view entry (gossip discovery) is metered,
+        excluded, and the layer re-resolved — falling back through the
+        registry chain when the view holds nothing real.  Demand is
+        recorded against the swarm for every layer that had to move
+        (local hits need no replication), which is the signal the
+        adaptive replicator consumes.
         """
         resolved_registry, manifest = self.resolve(reference, arch)
-        plan = self.planner.plan(manifest, device, cache)
+        sources: List[LayerSource] = []
+        stale_misses = 0
+        for layer in manifest.layers:
+            best, misses = self._resolve_verified(
+                layer.digest, layer.size_bytes, device, cache
+            )
+            stale_misses += misses
+            sources.append(best)
+        plan = PullPlan(device=device, layers=tuple(sources))
         # Meter the registries that actually serve bytes (mirrors the
         # two-tier client: cache hits and peer-served pulls don't burn
         # hub rate-limit tokens — offloading them is the tier's point).
@@ -696,19 +787,12 @@ class P2PRegistry:
         for registry in self.planner.registries:
             if registry.name in served:
                 registry.meter_pull(device, now_s)
-        # Integrity: every non-local source must actually hold the layer.
         for layer in plan.layers:
             if layer.kind is SourceKind.REGISTRY:
                 registry = next(
                     r for r in self.planner.registries if r.name == layer.source
                 )
                 registry.fetch_blob(layer.digest)
-            elif layer.kind is SourceKind.PEER:
-                if not self.swarm.index.holds(layer.source, layer.digest):
-                    raise RegistryError(
-                        f"peer index incoherent: {layer.source!r} no longer "
-                        f"holds {layer.digest}"
-                    )
         # admit_image (not a bare add loop) keeps the CacheFull guard
         # and the an-image-cannot-evict-itself guarantee of the
         # two-tier client's pull path.
@@ -723,7 +807,40 @@ class P2PRegistry:
             device=device,
             plan=plan,
             evictions=tuple(evictions),
+            stale_peer_misses=stale_misses,
         )
+
+    def _resolve_verified(
+        self,
+        digest: str,
+        size_bytes: int,
+        device: str,
+        cache: ImageCache,
+    ) -> Tuple[LayerSource, int]:
+        """Cheapest source whose holder survives verification.
+
+        Returns ``(source, stale_misses)``.  Peer sources come from the
+        device's discovery view; each candidate is checked against the
+        ground-truth index and stale entries are excluded until a real
+        holder — or a registry — remains.
+        """
+        excluded: Set[str] = set()
+        misses = 0
+        while True:
+            best = self.planner.resolve_layer(
+                digest,
+                size_bytes,
+                device,
+                cache,
+                exclude_peers=frozenset(excluded),
+            )
+            if best.kind is SourceKind.PEER and not self.swarm.verify_holder(
+                device, best.source, digest
+            ):
+                misses += 1
+                excluded.add(best.source)
+                continue
+            return best, misses
 
 
 @dataclass(frozen=True)
@@ -807,10 +924,15 @@ class AdaptiveReplicator:
     # the DES process
     # ------------------------------------------------------------------
     def process(self, cycles: Optional[int] = None):
-        """Generator to hand to ``sim.process`` (None = run forever)."""
+        """Generator to hand to ``sim.process`` (None = run forever).
+
+        The run-forever form ticks on daemon timeouts, so it never
+        keeps a horizonless ``sim.run()`` from terminating; a bounded
+        ``cycles`` run uses ordinary timeouts and is awaitable.
+        """
         done = 0
         while cycles is None or done < cycles:
-            yield self.sim.timeout(self.interval_s)
+            yield self.sim.timeout(self.interval_s, daemon=(cycles is None))
             self.run_cycle()
             done += 1
 
@@ -852,7 +974,8 @@ class AdaptiveReplicator:
             hot_digests=tuple(hot),
             actions=tuple(actions),
             replica_counts={
-                digest: self.swarm.index.replica_count(digest) for digest in hot
+                digest: len(self.swarm.discovery.management_view(digest))
+                for digest in hot
             },
         )
         self.history.append(cycle)
@@ -860,13 +983,18 @@ class AdaptiveReplicator:
 
     def _replicate(self, digest: str, region: str) -> Optional[ReplicationAction]:
         index = self.swarm.index
-        holders = index.holders(digest)
+        discovery = self.swarm.discovery
+        # The replicator reasons over the management-plane view — under
+        # gossip discovery a partial, possibly stale picture of the
+        # replica map (the continuous-reasoning realism axis); under
+        # omniscient discovery exactly the committed set, as before.
+        holders = set(discovery.management_view(digest))
         if not holders:
             return None  # nobody to copy from; the next pull will seed it
         in_region = holders & self.swarm.members(region)
         if len(in_region) >= self.target_replicas:
             return None
-        size = index.size_of(digest)
+        size = discovery.size_of(digest)
         if size is None:
             return None
         candidates = sorted(
@@ -883,10 +1011,12 @@ class AdaptiveReplicator:
                 continue
             if cache.is_reserved(digest):
                 continue  # a copy (or pull) of this layer is already in flight
-            # A copy needs a real channel from some holder: a region no
-            # holder can reach cannot be provisioned peer-to-peer (its
-            # first pull will seed it from a registry instead).
-            source = self.swarm._fastest(holders, target)
+            # A copy needs a real channel from some *verified* holder:
+            # stale view entries are metered and dropped, and a region
+            # no surviving holder can reach cannot be provisioned
+            # peer-to-peer (its first pull will seed it from a
+            # registry instead).
+            source = self._verified_source(holders, target, digest)
             if source is None:
                 continue
             seconds = self.swarm.network.device_channel(
@@ -917,6 +1047,24 @@ class AdaptiveReplicator:
                 seconds=seconds,
             )
         return None
+
+    def _verified_source(
+        self, holders: Set[str], target: str, digest: str
+    ) -> Optional[str]:
+        """Fastest believed holder that really holds ``digest``.
+
+        Stale entries are pruned from ``holders`` in place (and the
+        miss metered against the management view), so one replication
+        cycle never trips over the same dead entry twice.
+        """
+        swarm = self.swarm
+        while True:
+            source = swarm._fastest(holders, target)
+            if source is None:
+                return None
+            if swarm.verify_holder(swarm.discovery.observer, source, digest):
+                return source
+            holders.discard(source)
 
     def _deliver(self, transfer, cache: ImageCache, digest: str, size: int):
         """Commit a proactive copy when its transfer lands (DES process)."""

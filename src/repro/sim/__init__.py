@@ -1,5 +1,6 @@
 """Deterministic discrete-event simulation kernel used by the testbed."""
 
+from .churn import ChurnConfig, ChurnEvent, ChurnProcess
 from .engine import AllOf, Interrupt, Process, Simulator
 from .events import Event, EventQueue, Timeout
 from .resources import Resource
@@ -7,6 +8,9 @@ from .rng import DEFAULT_SEED, RngRegistry, default_registry
 
 __all__ = [
     "AllOf",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnProcess",
     "DEFAULT_SEED",
     "Event",
     "EventQueue",

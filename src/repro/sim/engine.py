@@ -161,9 +161,15 @@ class Simulator:
         """A fresh untriggered event (manual trigger)."""
         return Event(self._queue)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` seconds from now."""
-        return Timeout(self._queue, delay, value)
+    def timeout(
+        self, delay: float, value: Any = None, daemon: bool = False
+    ) -> Timeout:
+        """An event firing ``delay`` seconds from now.
+
+        ``daemon=True`` marks a background wake-up that does not keep
+        a horizonless :meth:`run` alive (see :class:`Timeout`).
+        """
+        return Timeout(self._queue, delay, value, daemon=daemon)
 
     def process(self, generator: ProcessGenerator) -> Process:
         """Start a process; returns its completion event."""
@@ -178,9 +184,15 @@ class Simulator:
 
         Returns the simulation time when the run stopped.  Failure
         events that nothing waited on re-raise here so that errors
-        cannot vanish.
+        cannot vanish.  A horizonless run additionally stops once only
+        *daemon* events remain (periodic background processes — gossip
+        rounds, churn — would otherwise keep the queue alive forever);
+        under a horizon, daemon events are processed like any other up
+        to ``until``.
         """
         while not self._queue.empty():
+            if until is None and self._queue.foreground_pending() == 0:
+                return self._queue.now
             if until is not None and self._queue.peek_time() > until:
                 self._now_to(until)
                 return self._queue.now

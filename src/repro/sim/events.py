@@ -25,23 +25,30 @@ class Event:
     __slots__ = (
         "env",
         "callbacks",
+        "daemon",
         "_value",
         "_ok",
         "_triggered",
         "_processed",
         "_consumed",
         "_voided",
+        "_queued",
     )
 
     def __init__(self, env: "EventQueue") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        #: Daemon events (periodic background wake-ups: gossip rounds,
+        #: churn transitions) do not keep the simulation alive — a
+        #: horizonless ``run()`` stops once only daemon events remain.
+        self.daemon = False
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
         self._processed = False
         self._consumed = False
         self._voided = False
+        self._queued = False
 
     def void(self) -> None:
         """Retract a scheduled event: it is lazily dropped from the
@@ -53,6 +60,10 @@ class Event:
         if self._processed:
             raise RuntimeError("cannot void a processed event")
         self._voided = True
+        if self._queued:
+            self._queued = False
+            if not self.daemon:
+                self.env._foreground -= 1
 
     def mark_consumed(self) -> None:
         """Record that this event's failure was delivered to a waiter.
@@ -121,14 +132,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay (auto-triggered)."""
+    """An event that fires after a fixed delay (auto-triggered).
+
+    ``daemon=True`` marks a background wake-up: it fires normally
+    while the simulation is otherwise alive (and always under a
+    ``run(until=...)`` horizon), but pending daemon timeouts alone do
+    not keep a horizonless ``run()`` going — eternal periodic
+    processes (gossip anti-entropy, churn) yield these so simulations
+    that drain the queue still terminate.
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "EventQueue", delay: float, value: Any = None) -> None:
+    def __init__(
+        self,
+        env: "EventQueue",
+        delay: float,
+        value: Any = None,
+        daemon: bool = False,
+    ) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
         super().__init__(env)
+        self.daemon = daemon
         self.delay = delay
         self._triggered = True
         self._value = value
@@ -142,16 +168,24 @@ class EventQueue:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        self._foreground = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
 
+    def foreground_pending(self) -> int:
+        """Scheduled non-daemon events still awaiting processing."""
+        return self._foreground
+
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Enqueue ``event`` to process at ``now + delay``."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
+        event._queued = True
+        if not event.daemon:
+            self._foreground += 1
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
 
     def _purge_voided(self) -> None:
@@ -176,6 +210,9 @@ class EventQueue:
         if not self._heap:
             raise RuntimeError("step() on an empty event queue")
         time, _, event = heapq.heappop(self._heap)
+        event._queued = False
+        if not event.daemon:
+            self._foreground -= 1
         self._now = time
         event._process()
         return event

@@ -1,0 +1,180 @@
+"""Contention-aware scheduling: cost estimates fed by live link state.
+
+The analytic cost table prices transfers at nominal ``size/BW``; with
+a live :class:`TransferEngine` attached, estimates reflect the fair
+share a transfer would get *right now*, and the cache-affinity
+scheduler stops courting saturated seeders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostMatrix, CostTable, SchedulerState
+from repro.core.environment import Environment
+from repro.core.scheduler import CacheAffinityScheduler
+from repro.devices.specs import medium_device, small_device
+from repro.model.application import Application, Microservice
+from repro.model.device import DeviceFleet
+from repro.model.network import NetworkModel
+from repro.model.registry import RegistryCatalog, RegistryInfo, RegistryKind
+from repro.sim.engine import Simulator
+from repro.sim.transfers import TransferEngine
+
+
+def tiny_env(device_bw_mbps: float = 800.0, registry_bw_mbps: float = 80.0):
+    medium = medium_device(region="edge")
+    small = small_device(region="edge")
+    fleet = DeviceFleet.of(medium, small)
+    network = NetworkModel()
+    network.connect_devices(medium.name, small.name, device_bw_mbps)
+    for device in (medium, small):
+        network.connect_registry("hub", device.name, registry_bw_mbps)
+    catalog = RegistryCatalog.of(
+        RegistryInfo("hub", RegistryKind.HUB, "https://hub.docker.com")
+    )
+    return Environment(fleet=fleet, network=network, registries=catalog)
+
+
+def one_service_app(size_gb: float = 1.0) -> Application:
+    app = Application(name="solo")
+    app.add_microservice(
+        Microservice(name="svc", image="acme/app", size_gb=size_gb)
+    )
+    return app
+
+
+class TestEstimatedRates:
+    def test_idle_path_estimates_nominal(self):
+        env = tiny_env()
+        engine = TransferEngine(Simulator(), env.network)
+        assert engine.estimated_rate_mbps("medium", "small") == 800.0
+        assert engine.estimated_transfer_s("medium", "small", 1000.0) == (
+            pytest.approx(10.0)
+        )
+
+    def test_each_occupant_halves_the_newcomers_share(self):
+        env = tiny_env()
+        engine = TransferEngine(Simulator(), env.network)
+        engine.start("medium", "small", 500_000_000)
+        assert engine.estimated_rate_mbps("medium", "small") == 400.0
+        engine.start("medium", "small", 500_000_000)
+        assert engine.estimated_rate_mbps("medium", "small") == pytest.approx(
+            800.0 / 3
+        )
+
+    def test_loopback_is_free(self):
+        env = tiny_env()
+        engine = TransferEngine(Simulator(), env.network)
+        assert engine.estimated_rate_mbps("small", "small") == float("inf")
+        assert engine.estimated_transfer_s("small", "small", 1000.0) == 0.0
+
+    def test_registry_paths_are_estimated_too(self):
+        env = tiny_env()
+        engine = TransferEngine(Simulator(), env.network)
+        assert engine.estimated_rate_mbps(
+            "hub", "small", src_is_registry=True
+        ) == 80.0
+        engine.start("hub", "small", 500_000_000, src_is_registry=True)
+        assert engine.estimated_rate_mbps(
+            "hub", "small", src_is_registry=True
+        ) == 40.0
+
+
+class TestContentionAwareCostTable:
+    def test_busy_peer_channel_raises_the_peer_term(self):
+        env = tiny_env(device_bw_mbps=800.0, registry_bw_mbps=80.0)
+        engine = TransferEngine(Simulator(), env.network)
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True, engine=engine)
+        state = SchedulerState()
+        state.commit(app.service("svc"), "hub", "medium", completion_s=1.0)
+        # Idle: identical to the analytic estimate (10 s at 800 Mbps).
+        seconds, peer = table.peer_deploy_seconds(
+            state, app.service("svc"), "small"
+        )
+        assert peer == "medium" and seconds == pytest.approx(10.0)
+        # One transfer already on the channel: the newcomer gets half.
+        engine.start("medium", "small", 100_000_000)
+        seconds, _ = table.peer_deploy_seconds(
+            state, app.service("svc"), "small"
+        )
+        assert seconds == pytest.approx(20.0)
+
+    def test_transfer_source_flips_to_registry_under_congestion(self):
+        env = tiny_env(device_bw_mbps=800.0, registry_bw_mbps=80.0)
+        engine = TransferEngine(Simulator(), env.network)
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True, engine=engine)
+        state = SchedulerState()
+        state.commit(app.service("svc"), "hub", "medium", completion_s=1.0)
+        assert (
+            table.transfer_source("svc", "hub", "small", state)
+            == "peer:medium"
+        )
+        # 19 occupants drop the peer share to 40 Mbps (200 s) — worse
+        # than the idle 80 Mbps registry channel (100 s).
+        for _ in range(19):
+            engine.start("medium", "small", 1_000_000)
+        assert (
+            table.transfer_source("svc", "hub", "small", state)
+            == "registry:hub"
+        )
+        record = table.record("svc", "hub", "small", state)
+        assert record.times.deploy_s == pytest.approx(100.0)
+
+    def test_without_engine_estimates_stay_analytic(self):
+        env = tiny_env()
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True)
+        state = SchedulerState()
+        state.commit(app.service("svc"), "hub", "medium", completion_s=1.0)
+        record = table.record("svc", "hub", "small", state)
+        assert record.times.deploy_s == pytest.approx(10.0)
+
+
+class TestSaturatedSeederDiscount:
+    def make_matrix(self):
+        return CostMatrix(
+            service="svc",
+            registries=["hub"],
+            devices=["warm", "cold"],
+            energy_j=np.array([[100.0, 90.0]]),
+            completion_s=np.array([[100.0, 90.0]]),
+            feasible=np.ones((1, 2), dtype=bool),
+            image="acme/app",
+        )
+
+    def make_env_with_seed_channel(self):
+        env = tiny_env()
+        # "seed" holds the image and reaches only "warm".
+        env.network.connect_devices("seed", "warm", 800.0)
+        return env
+
+    def seeded_state(self):
+        state = SchedulerState()
+        state.cached_images["seed"] = {"acme/app"}
+        return state
+
+    def test_peer_discount_wins_placement_when_seeder_is_free(self):
+        env = self.make_env_with_seed_channel()
+        scheduler = CacheAffinityScheduler()
+        g, d = scheduler.choose(self.make_matrix(), self.seeded_state(), env)
+        # 100 * 0.85 = 85 beats 90: the peer-adjacent device wins.
+        assert (g, d) == (0, 0)
+
+    def test_saturated_seeder_loses_the_discount(self):
+        env = self.make_env_with_seed_channel()
+        engine = TransferEngine(Simulator(), env.network)
+        engine.set_upload_budget("seed", 0)
+        scheduler = CacheAffinityScheduler(engine=engine)
+        g, d = scheduler.choose(self.make_matrix(), self.seeded_state(), env)
+        # No discount: 100 vs 90 — the undiscounted faster cell wins.
+        assert (g, d) == (0, 1)
+
+    def test_engine_threads_through_schedule(self):
+        env = tiny_env()
+        engine = TransferEngine(Simulator(), env.network)
+        scheduler = CacheAffinityScheduler(engine=engine)
+        app = one_service_app(size_gb=0.5)
+        result = scheduler.schedule(app, env)
+        assert len(result.records) == 1  # engine-aware table, same plan

@@ -1,0 +1,323 @@
+"""Unit tests for the pluggable discovery backends.
+
+Omniscient discovery must be indistinguishable from querying the peer
+index directly; gossip discovery must converge via anti-entropy, keep
+views partial, treat staleness as a metered failure mode, and survive
+departure / re-join-with-stale-cache without resurrecting dead info.
+"""
+
+import pytest
+
+from repro.model.device import Arch
+from repro.model.network import NetworkModel
+from repro.model.units import BYTES_PER_GB
+from repro.registry.base import ImageReference, RegistryError
+from repro.registry.cache import ImageCache
+from repro.registry.digest import digest_text
+from repro.registry.discovery import (
+    GossipDiscovery,
+    OmniscientDiscovery,
+    ViewRecord,
+    _newer,
+)
+from repro.registry.hub import DockerHub
+from repro.registry.images import build_image
+from repro.registry.p2p import AdaptiveReplicator, P2PRegistry, PeerSwarm, SourceKind
+from repro.sim.engine import Simulator
+
+D = [digest_text(f"disc-layer-{i}") for i in range(6)]
+
+
+def small_cache(capacity_bytes: int, device: str) -> ImageCache:
+    return ImageCache(capacity_bytes / BYTES_PER_GB, device)
+
+
+def mesh_swarm(n=4, discovery=None, capacity=1000):
+    network = NetworkModel()
+    names = [f"d{i}" for i in range(n)]
+    network.connect_device_mesh(names, 800.0)
+    swarm = PeerSwarm(network, discovery=discovery)
+    caches = {}
+    for name in names:
+        caches[name] = small_cache(capacity, name)
+        swarm.add_device(name, caches[name], region="r0")
+    return swarm, caches
+
+
+# ----------------------------------------------------------------------
+# omniscient backend
+# ----------------------------------------------------------------------
+class TestOmniscientDiscovery:
+    def test_view_mirrors_index_for_every_viewer(self):
+        swarm, caches = mesh_swarm()
+        caches["d0"].add(D[0], 10)
+        caches["d2"].add(D[0], 10)
+        for viewer in swarm.devices():
+            assert swarm.discovery.view(viewer, D[0]) == {"d0", "d2"}
+        assert swarm.discovery.management_view(D[0]) == {"d0", "d2"}
+        assert swarm.discovery.size_of(D[0]) == 10
+
+    def test_default_backend_is_omniscient_and_authoritative(self):
+        swarm, _ = mesh_swarm()
+        assert isinstance(swarm.discovery, OmniscientDiscovery)
+        assert swarm.discovery.authoritative
+        assert swarm.stale_peer_misses == 0
+
+    def test_verify_holder_raises_on_incoherence(self):
+        swarm, caches = mesh_swarm()
+        caches["d0"].add(D[0], 10)
+        assert swarm.verify_holder("d1", "d0", D[0]) is True
+        with pytest.raises(RegistryError, match="incoherent"):
+            swarm.verify_holder("d1", "d3", D[0])
+
+
+# ----------------------------------------------------------------------
+# gossip backend: convergence and partial views
+# ----------------------------------------------------------------------
+class TestGossipConvergence:
+    def test_views_start_empty_and_converge(self):
+        disc = GossipDiscovery(fanout=2, period_s=30.0, seed=3)
+        swarm, caches = mesh_swarm(n=6, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        caches["d4"].add(D[0], 10)
+        assert disc.view("d2", D[0]) == frozenset()
+        for _ in range(3 * 6):
+            disc.run_round()
+        for viewer in swarm.devices():
+            expected = {"d0", "d4"} - {viewer}
+            assert disc.view(viewer, D[0]) == expected
+        assert disc.management_view(D[0]) == {"d0", "d4"}
+        assert disc.coverage(swarm.index) == pytest.approx(1.0)
+
+    def test_view_never_contains_viewer(self):
+        disc = GossipDiscovery(fanout=2, period_s=30.0, seed=3)
+        _swarm, caches = mesh_swarm(n=4, discovery=disc)
+        caches["d1"].add(D[0], 10)
+        for _ in range(12):
+            disc.run_round()
+        assert "d1" not in disc.view("d1", D[0])
+
+    def test_view_cap_bounds_present_entries(self):
+        disc = GossipDiscovery(fanout=3, period_s=30.0, view_cap=2, seed=5)
+        _swarm, caches = mesh_swarm(n=8, discovery=disc)
+        for name, cache in caches.items():
+            cache.add(D[0], 10)
+        for _ in range(24):
+            disc.run_round()
+        for viewer in caches:
+            holders = disc.view(viewer, D[0])
+            assert 0 < len(holders) <= 2
+            assert viewer not in holders
+
+    def test_size_learned_from_firsthand_adds(self):
+        disc = GossipDiscovery(seed=1)
+        _swarm, caches = mesh_swarm(n=3, discovery=disc)
+        assert disc.size_of(D[0]) is None
+        caches["d0"].add(D[0], 77)
+        assert disc.size_of(D[0]) == 77
+
+    def test_bound_simulator_runs_rounds_on_the_clock(self):
+        sim = Simulator()
+        disc = GossipDiscovery(sim=sim, fanout=1, period_s=10.0, seed=2)
+        _swarm, caches = mesh_swarm(n=3, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        sim.run(until=55.0)
+        assert disc.rounds == 5
+        assert disc.view("d1", D[0]) == {"d0"}
+
+    def test_bind_after_construction(self):
+        disc = GossipDiscovery(fanout=1, period_s=10.0, seed=2)
+        _swarm, caches = mesh_swarm(n=3, discovery=disc)
+        sim = Simulator()
+        disc.bind(sim)
+        sim.run(until=25.0)
+        assert disc.rounds == 2
+
+
+# ----------------------------------------------------------------------
+# gossip backend: staleness as a failure mode
+# ----------------------------------------------------------------------
+class TestGossipStaleness:
+    def converged(self, n=5, seed=7):
+        disc = GossipDiscovery(fanout=2, period_s=30.0, seed=seed)
+        swarm, caches = mesh_swarm(n=n, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        caches["d3"].add(D[0], 10)
+        for _ in range(3 * n):
+            disc.run_round()
+        return disc, swarm, caches
+
+    def test_eviction_leaves_stale_entries_until_verified(self):
+        disc, swarm, caches = self.converged()
+        caches["d0"].remove(D[0])
+        # d0's own firsthand flips instantly, but d2's view is stale.
+        assert "d0" in disc.view("d2", D[0])
+        assert swarm.verify_holder("d2", "d0", D[0]) is False
+        assert disc.stale_misses == 1
+        assert "d0" not in disc.view("d2", D[0])
+        assert swarm.stale_peer_misses == 1
+
+    def test_drop_propagates_through_gossip_without_verification(self):
+        disc, swarm, caches = self.converged()
+        caches["d0"].remove(D[0])
+        for _ in range(3 * 5):
+            disc.run_round()
+        for viewer in swarm.devices():
+            assert "d0" not in disc.view(viewer, D[0])
+        assert disc.stale_misses == 0  # nobody had to trip over it
+
+    def test_departed_holder_is_served_stale_then_metered(self):
+        disc, swarm, caches = self.converged()
+        swarm.remove_device("d3")
+        assert "d3" in disc.view("d1", D[0])  # the departure is unseen
+        assert swarm.best_peer(D[0], "d1") in {"d0", "d3"}
+        assert swarm.verify_holder("d1", "d3", D[0]) is False
+        assert "d3" not in disc.view("d1", D[0])
+
+    def test_rejoin_with_stale_cache_bumps_incarnation(self):
+        disc, swarm, caches = self.converged()
+        swarm.remove_device("d3")
+        # Everyone learns d3 is gone the hard way.
+        for viewer in ("d1", "d2", "d4"):
+            swarm.verify_holder(viewer, "d3", D[0])
+        swarm.add_device("d3", caches["d3"], region="r0")
+        for _ in range(3 * 5):
+            disc.run_round()
+        # The fresh incarnation's announcement outranks the old
+        # suppressions: d3 is a holder again in every view.
+        for viewer in ("d1", "d2", "d4"):
+            assert "d3" in disc.view(viewer, D[0])
+
+    def test_double_join_rejected(self):
+        disc = GossipDiscovery(seed=1)
+        _swarm, caches = mesh_swarm(n=3, discovery=disc)
+        with pytest.raises(ValueError):
+            disc.on_join("d0", caches["d0"], "r0")
+
+    def test_leave_unknown_rejected(self):
+        disc = GossipDiscovery(seed=1)
+        with pytest.raises(ValueError):
+            disc.on_leave("ghost")
+
+
+# ----------------------------------------------------------------------
+# merge rule
+# ----------------------------------------------------------------------
+class TestMergeRule:
+    def test_strictly_newer_wins(self):
+        old = ViewRecord(1, 2, True)
+        assert _newer(ViewRecord(1, 3, False), old)
+        assert _newer(ViewRecord(2, 0, True), old)
+        assert not _newer(ViewRecord(1, 1, False), old)
+
+    def test_tie_prefers_absent(self):
+        assert _newer(ViewRecord(1, 2, False), ViewRecord(1, 2, True))
+        assert not _newer(ViewRecord(1, 2, True), ViewRecord(1, 2, False))
+        assert not _newer(ViewRecord(1, 2, True), ViewRecord(1, 2, True))
+
+
+# ----------------------------------------------------------------------
+# the pull path falls back through the registry chain on stale views
+# ----------------------------------------------------------------------
+class TestPullFallback:
+    def build(self):
+        hub = DockerHub(name="hub")
+        mlist, blobs = build_image("acme/app", 0.00000005)  # 50 B image
+        hub.push_image("acme/app", "latest", mlist, blobs)
+        disc = GossipDiscovery(fanout=2, period_s=30.0, seed=9)
+        network = NetworkModel()
+        names = ["d0", "d1", "d2"]
+        network.connect_device_mesh(names, 800.0)
+        for name in names:
+            network.connect_registry("hub", name, 50.0)
+        swarm = PeerSwarm(network, discovery=disc)
+        caches = {n: small_cache(10_000, n) for n in names}
+        for n in names:
+            swarm.add_device(n, caches[n], region="r0")
+        facade = P2PRegistry(swarm, [hub])
+        return facade, swarm, caches, disc
+
+    def test_stale_peer_falls_back_to_registry_and_meters(self):
+        facade, swarm, caches, disc = self.build()
+        ref = ImageReference("acme/app")
+        # Seed d0, converge views, then silently gut d0's cache.
+        r0 = facade.pull(ref, Arch.AMD64, "d0", caches["d0"])
+        layer_digests = [l.digest for l in r0.plan.layers]
+        for _ in range(9):
+            disc.run_round()
+        assert swarm.best_peer(layer_digests[0], "d1") == "d0"
+        caches["d0"].clear()
+        result = facade.pull(ref, Arch.AMD64, "d1", caches["d1"])
+        # Every layer fell back to the hub; each stale entry metered.
+        assert result.stale_peer_misses == len(layer_digests)
+        assert all(
+            layer.kind is SourceKind.REGISTRY for layer in result.plan.layers
+        )
+        assert disc.stale_misses == len(layer_digests)
+
+    def test_verified_peer_serves_normally(self):
+        facade, swarm, caches, disc = self.build()
+        ref = ImageReference("acme/app")
+        facade.pull(ref, Arch.AMD64, "d0", caches["d0"])
+        for _ in range(9):
+            disc.run_round()
+        result = facade.pull(ref, Arch.AMD64, "d1", caches["d1"])
+        assert result.stale_peer_misses == 0
+        assert result.bytes_from_peers > 0
+
+
+# ----------------------------------------------------------------------
+# the replicator reasons over the management view
+# ----------------------------------------------------------------------
+class TestReplicatorUnderGossip:
+    def test_replicator_blind_until_observer_view_converges(self):
+        sim = Simulator()
+        disc = GossipDiscovery(fanout=2, period_s=30.0, seed=4)
+        network = NetworkModel()
+        names = ["a0", "a1", "b0", "b1"]
+        network.connect_device_mesh(names, 800.0)
+        swarm = PeerSwarm(network, discovery=disc)
+        caches = {n: small_cache(1000, n) for n in names}
+        for n in names:
+            swarm.add_device(n, caches[n], region=n[0])
+        caches["a0"].add(D[0], 10)
+        for _ in range(8):
+            swarm.record_demand(D[0], "b0")
+        replicator = AdaptiveReplicator(
+            sim, swarm, interval_s=60.0, hot_threshold=3.0, target_replicas=1
+        )
+        # Management view is empty pre-gossip: hot but unreplicable.
+        cycle = replicator.run_cycle()
+        assert cycle.hot_digests == (D[0],)
+        assert cycle.actions == ()
+        for _ in range(12):
+            disc.run_round()
+        for _ in range(8):
+            swarm.record_demand(D[0], "b0")
+        cycle = replicator.run_cycle()
+        assert any(a.digest == D[0] for a in cycle.actions)
+
+    def test_stale_management_entry_is_pruned_and_metered(self):
+        sim = Simulator()
+        disc = GossipDiscovery(fanout=2, period_s=30.0, seed=4)
+        network = NetworkModel()
+        names = ["a0", "b0"]
+        network.connect_device_mesh(names, 800.0)
+        swarm = PeerSwarm(network, discovery=disc)
+        caches = {n: small_cache(1000, n) for n in names}
+        for n in names:
+            swarm.add_device(n, caches[n], region=n[0])
+        caches["a0"].add(D[0], 10)
+        for _ in range(6):
+            disc.run_round()
+        assert disc.management_view(D[0]) == {"a0"}
+        caches["a0"].remove(D[0])  # view now stale
+        for _ in range(6):
+            swarm.record_demand(D[0], "b0")
+        replicator = AdaptiveReplicator(
+            sim, swarm, interval_s=60.0, hot_threshold=3.0, target_replicas=1
+        )
+        cycle = replicator.run_cycle()
+        assert cycle.actions == ()
+        assert disc.stale_misses >= 1
+        assert "a0" not in disc.management_view(D[0])

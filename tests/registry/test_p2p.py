@@ -116,6 +116,38 @@ class TestPeerSwarm:
         swarm.index.cache_of("c").add(D[0], 10)
         assert swarm.best_peer(D[0], "a") == "c"
 
+    def test_fastest_tie_break_is_deterministic(self):
+        # Equal-bandwidth holders must resolve by device name — never
+        # by set iteration order — so sweeps reproduce across runs and
+        # Python versions.
+        for insertion_order in (
+            ("p-c", "p-a", "p-b"),
+            ("p-b", "p-c", "p-a"),
+            ("p-a", "p-b", "p-c"),
+        ):
+            network = NetworkModel()
+            network.connect_device_mesh(("target",) + insertion_order, 400.0)
+            swarm = PeerSwarm(network)
+            swarm.add_device("target", small_cache(1000, "target"))
+            for name in insertion_order:
+                cache = small_cache(1000, name)
+                cache.add(D[0], 10)
+                swarm.add_device(name, cache)
+            assert swarm.best_peer(D[0], "target") == "p-a"
+            assert swarm._fastest(set(insertion_order), "target") == "p-a"
+
+    def test_fastest_prefers_bandwidth_over_name(self):
+        network = NetworkModel()
+        network.connect_devices("target", "p-a", 100.0)
+        network.connect_devices("target", "p-z", 900.0)
+        swarm = PeerSwarm(network)
+        for name in ("target", "p-a", "p-z"):
+            cache = small_cache(1000, name)
+            if name != "target":
+                cache.add(D[0], 10)
+            swarm.add_device(name, cache)
+        assert swarm.best_peer(D[0], "target") == "p-z"
+
     def test_no_holder_no_peer(self):
         swarm = self.make_swarm()
         assert swarm.best_peer(D[0], "a") is None

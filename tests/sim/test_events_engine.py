@@ -145,6 +145,65 @@ class TestProcesses:
         assert sim.run(until=10.0) == 10.0
         assert sim.now == 10.0
 
+    def test_daemon_timeouts_do_not_keep_run_alive(self):
+        sim = Simulator()
+        ticks = []
+
+        def background():
+            while True:
+                yield sim.timeout(5.0, daemon=True)
+                ticks.append(sim.now)
+
+        def worker():
+            yield sim.timeout(12.0)
+
+        sim.process(background())
+        sim.process(worker())
+        # A horizonless run terminates once only daemon wake-ups
+        # remain — at the worker's end, having processed the daemon
+        # ticks that came before it.
+        assert sim.run() == 12.0
+        assert ticks == [5.0, 10.0]
+
+    def test_daemon_timeouts_fire_under_a_horizon(self):
+        sim = Simulator()
+        ticks = []
+
+        def background():
+            while True:
+                yield sim.timeout(5.0, daemon=True)
+                ticks.append(sim.now)
+
+        sim.process(background())
+        sim.run(until=22.0)
+        assert ticks == [5.0, 10.0, 15.0, 20.0]
+        assert sim.now == 22.0
+
+    def test_daemon_only_run_does_not_advance_the_clock(self):
+        sim = Simulator()
+
+        def background():
+            while True:
+                yield sim.timeout(5.0, daemon=True)
+
+        sim.process(background())
+        assert sim.run() == 0.0
+        assert sim.now == 0.0
+
+    def test_voided_foreground_event_does_not_block_daemon_exit(self):
+        sim = Simulator()
+        wake = sim.timeout(50.0)
+
+        def background():
+            while True:
+                yield sim.timeout(5.0, daemon=True)
+
+        sim.process(background())
+        wake.void()
+        # The only foreground event was retracted: run() must stop
+        # immediately instead of chasing daemon ticks to the void.
+        assert sim.run() == 0.0
+
     def test_non_event_yield_rejected(self):
         sim = Simulator()
 

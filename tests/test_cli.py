@@ -29,3 +29,23 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_p2p_accepts_seed(self, capsys):
+        assert main(["p2p", "--seed", "7"]) == 0
+        seeded = capsys.readouterr().out
+        assert "P2P tier" in seeded
+        assert main(["p2p"]) == 0
+        default = capsys.readouterr().out
+        # A different seed is a different workload realisation.
+        assert seeded != default
+
+    def test_p2p_gossip(self, capsys):
+        assert main(["p2p-gossip"]) == 0
+        out = capsys.readouterr().out
+        assert "discovery" in out
+        assert "omniscient" in out and "gossip" in out
+        assert "overstates" in out
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["p2p", "--seed", "lots"])
