@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli p2p         # three-tier registry comparison
     python -m repro.cli p2p-contended  # analytic vs time-resolved pulls
     python -m repro.cli p2p-gossip  # omniscient vs gossip discovery
+    python -m repro.cli p2p-chunked # single-source vs chunked swarm pulls
     python -m repro.cli all         # everything above
     python -m repro.cli calibration # dump the fitted constants
 
@@ -63,7 +64,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
-                 "p2p", "p2p-contended", "p2p-gossip", "all", "calibration"],
+                 "p2p", "p2p-contended", "p2p-gossip", "p2p-chunked", "all",
+                 "calibration"],
         help="which artefact to regenerate",
     )
     parser.add_argument(
@@ -72,8 +74,8 @@ def main(argv: List[str] = None) -> int:
         default=DEFAULT_SEED,
         help=(
             "root seed for the stochastic swarm experiments "
-            "(p2p / p2p-contended / p2p-gossip); other artefacts are "
-            "deterministic and ignore it"
+            "(p2p / p2p-contended / p2p-gossip / p2p-chunked); other "
+            "artefacts are deterministic and ignore it"
         ),
     )
     args = parser.parse_args(argv)
@@ -92,6 +94,7 @@ def main(argv: List[str] = None) -> int:
         "p2p": lambda: p2p.run(seed=args.seed),
         "p2p-contended": lambda: p2p.run_contended(seed=args.seed),
         "p2p-gossip": lambda: p2p.run_gossip(seed=args.seed),
+        "p2p-chunked": lambda: p2p.run_chunked(seed=args.seed),
     }
     selected: List[str]
     if args.experiment == "all":

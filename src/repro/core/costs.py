@@ -155,6 +155,14 @@ class CostTable:
         analytic ``Size/BW`` — a congested seeder or saturated
         registry egress stops looking attractive the moment it is
         busy.  Off by default (analytic estimates, unchanged numbers).
+    chunk_sources:
+        How many peer holders a chunked multi-source pull may draw
+        from in parallel.  At the default 1 the peer ``Td`` is the
+        single fastest holder (bit-for-bit the historical estimate);
+        at k > 1 it prices a
+        :class:`~repro.registry.chunks.ChunkSwarmPlanner`-style
+        transfer — the image moving at the *aggregate* fair-share rate
+        of the k best reachable holders, the way chunks actually land.
     """
 
     def __init__(
@@ -163,11 +171,15 @@ class CostTable:
         env: Environment,
         peer_transfers: bool = False,
         engine: Optional["TransferEngine"] = None,
+        chunk_sources: int = 1,
     ) -> None:
+        if chunk_sources < 1:
+            raise ValueError(f"chunk_sources must be >= 1, got {chunk_sources}")
         self.app = app
         self.env = env
         self.peer_transfers = peer_transfers
         self.engine = engine
+        self.chunk_sources = chunk_sources
 
     # ------------------------------------------------------------------
     # the P2P deployment term
@@ -186,6 +198,7 @@ class CostTable:
         best_s = float("inf")
         best_peer = ""
         size_mb = gb_to_mb(service.cold_pull_gb)
+        per_peer: List[Tuple[float, str]] = []
         for peer in state.peer_holders(service.image, exclude=device_name):
             if not self.env.network.has_device_channel(peer, device_name):
                 continue
@@ -196,8 +209,27 @@ class CostTable:
             else:
                 channel = self.env.network.device_channel(peer, device_name)
                 seconds = channel.transfer_time_s(size_mb)
+            per_peer.append((seconds, peer))
             if seconds < best_s:
                 best_s, best_peer = seconds, peer
+        if self.chunk_sources > 1 and len(per_peer) > 1 and size_mb > 0:
+            # Multi-source Td: a chunked pull streams from the k best
+            # holders at once, so the image moves at their *aggregate*
+            # rate.  Each holder's effective rate is backed out of its
+            # single-source estimate (which already reflects live
+            # fair-share contention when an engine is attached); the
+            # fastest holder stays the nominal "peer" of the estimate.
+            # The sum can only be realised up to the destination's
+            # shared downlink — k holders cannot deliver k× the NIC.
+            top = sorted(per_peer)[: self.chunk_sources]
+            aggregate_rate = sum(
+                size_mb * 8.0 / seconds for seconds, _peer in top if seconds > 0
+            )
+            downlink = self.env.network.downlink_mbps(device_name)
+            if downlink is not None:
+                aggregate_rate = min(aggregate_rate, downlink)
+            if aggregate_rate > 0:
+                best_s = min(best_s, size_mb * 8.0 / aggregate_rate)
         return best_s, best_peer
 
     def registry_deploy_seconds(

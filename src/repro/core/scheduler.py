@@ -80,10 +80,19 @@ class SchedulerBase:
     #: reflect current link utilisation instead of nominal ``size/BW``.
     engine = None
 
+    #: Peer holders a chunked multi-source pull may stream from in
+    #: parallel; 1 (the default) keeps the single-fastest-holder ``Td``
+    #: estimate bit-for-bit.
+    chunk_sources = 1
+
     def schedule(self, app: Application, env: Environment) -> ScheduleResult:
         """Produce a full plan for ``app`` in ``env``."""
         table = CostTable(
-            app, env, peer_transfers=self.peer_transfers, engine=self.engine
+            app,
+            env,
+            peer_transfers=self.peer_transfers,
+            engine=self.engine,
+            chunk_sources=self.chunk_sources,
         )
         state = SchedulerState()
         plan = PlacementPlan(application=app.name)
@@ -197,6 +206,15 @@ class CacheAffinityScheduler(SchedulerBase):
     and the peer-affinity discount is withheld from seeders that are
     already at their concurrent-upload budget — a saturated peer is no
     peer at all.
+
+    ``chunk_sources > 1`` prices peer-sourced deployments the way a
+    chunked multi-source pull actually lands them — at the aggregate
+    fair-share rate of the k best reachable holders (see
+    :class:`~repro.core.costs.CostTable`).  The saturation rule is
+    already chunk-friendly: the peer-affinity discount survives as
+    long as *any* reachable holder is below its upload budget, which
+    is precisely the condition under which a chunked pull can route
+    around saturated seeders.
     """
 
     name = "cache-affinity"
@@ -207,12 +225,16 @@ class CacheAffinityScheduler(SchedulerBase):
         local_weight: float = 0.3,
         peer_weight: float = 0.15,
         engine=None,
+        chunk_sources: int = 1,
     ) -> None:
         if not 0.0 <= local_weight < 1.0 or not 0.0 <= peer_weight < 1.0:
             raise ValueError("affinity weights must be in [0, 1)")
+        if chunk_sources < 1:
+            raise ValueError(f"chunk_sources must be >= 1, got {chunk_sources}")
         self.local_weight = local_weight
         self.peer_weight = peer_weight
         self.engine = engine
+        self.chunk_sources = chunk_sources
 
     def _usable_peer(self, peer: str, device: str, env: Environment) -> bool:
         if not env.network.has_device_channel(peer, device):

@@ -45,6 +45,7 @@ from ..registry.discovery import GossipDiscovery
 from ..registry.hub import DockerHub
 from ..registry.images import OFFICIAL_BASES, build_image
 from ..registry.minio import MinioStore
+from ..registry.chunks import DEFAULT_CHUNK_SIZE_BYTES
 from ..registry.p2p import AdaptiveReplicator, P2PRegistry, PeerSwarm
 from ..registry.regional import RegionalRegistry
 from ..sim.churn import ChurnConfig, ChurnProcess
@@ -116,6 +117,18 @@ class ModeOutcome:
     rejoins: int = 0
     #: Anti-entropy rounds the gossip backend completed (0 omniscient).
     gossip_rounds: int = 0
+    #: Simulated time at which the *last* pull of the run completed —
+    #: the cold-start makespan on a wave schedule (0 with no pulls).
+    makespan_s: float = 0.0
+    #: Longest single pull latency (completion minus scheduled
+    #: arrival).  On a near-simultaneous cold wave this is the wave's
+    #: own makespan, independent of where the wave sits on the clock.
+    longest_pull_s: float = 0.0
+    #: Bytes moved over links and thrown away (mid-flight fallbacks,
+    #: losing endgame duplicates); analytic runs always report 0.
+    bytes_wasted: int = 0
+    #: Duplicate chunk requests issued by the chunked endgame.
+    chunk_endgame_dupes: int = 0
 
     @property
     def origin_bytes(self) -> int:
@@ -231,6 +244,10 @@ def run_mode(
     gossip_period_s: float = 60.0,
     gossip_view_cap: int = 8,
     churn: Optional[ChurnConfig] = None,
+    chunked: bool = False,
+    chunk_size_bytes: int = DEFAULT_CHUNK_SIZE_BYTES,
+    chunk_parallel: int = 4,
+    replicator_churn_aware: bool = False,
 ) -> ModeOutcome:
     """Execute the scenario's pull schedule under one tier configuration.
 
@@ -256,6 +273,15 @@ def run_mode(
     :class:`~repro.sim.churn.ChurnProcess`: idle devices depart and
     re-join with their (stale) caches, and pulls arriving while their
     device is offline are skipped and counted.
+
+    ``chunked=True`` (time-resolved only) swaps the per-layer
+    single-source fetch for the BitTorrent-style per-chunk schedule of
+    :class:`~repro.registry.chunks.ChunkSwarmPlanner` — rarest-first
+    selection over full *and partial* holders, ``chunk_parallel``
+    concurrent sources per layer, endgame registry re-requests.
+    ``replicator_churn_aware=True`` hands the churn process to the
+    replicator so replica targets weight holders by observed session
+    lengths; both are opt-in so default outputs stay bit-for-bit.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -284,12 +310,24 @@ def run_mode(
         caches[dev.name] = cache
         swarm.add_device(dev.name, cache, region=dev.region)
 
+    if chunked and transfer_model is not TransferModel.TIME_RESOLVED:
+        raise ValueError(
+            "chunked pulls need TransferModel.TIME_RESOLVED (the analytic "
+            "model has no notion of a partially transferred layer)"
+        )
     if mode == "hub-only":
         chain = [scenario.hub]
     else:
         chain = [scenario.regional, scenario.hub]
     facade = P2PRegistry(
-        swarm, chain, name=mode, use_peers=(mode == "hybrid+p2p")
+        swarm,
+        chain,
+        name=mode,
+        use_peers=(mode == "hybrid+p2p"),
+        chunked=chunked,
+        chunk_size_bytes=chunk_size_bytes,
+        chunk_parallel=chunk_parallel,
+        chunk_seed=scenario.seed,
     )
     outcome = ModeOutcome(mode=mode)
     engine: Optional[TransferEngine] = None
@@ -317,6 +355,9 @@ def run_mode(
         outcome.bytes_from_peers += result.bytes_from_peers
         outcome.stale_peer_misses += result.stale_peer_misses
         outcome.transfer_s += result.seconds
+        outcome.bytes_wasted += result.bytes_wasted
+        outcome.chunk_endgame_dupes += result.chunk_endgame_dupes
+        outcome.makespan_s = max(outcome.makespan_s, sim.now)
         for registry, count in result.bytes_by_registry().items():
             outcome.bytes_by_registry[registry] = (
                 outcome.bytes_by_registry.get(registry, 0) + count
@@ -339,11 +380,20 @@ def run_mode(
                 account(result)
                 if result.seconds > 0:
                     yield sim.timeout(result.seconds)
+                # account() ran at pull start (analytic admission is
+                # instant); the makespan must cover the modelled sleep.
+                outcome.makespan_s = max(outcome.makespan_s, sim.now)
+                outcome.longest_pull_s = max(
+                    outcome.longest_pull_s, sim.now - at_s
+                )
             else:
                 result = yield from facade.pull_process(
                     ref, Arch.AMD64, device, caches[device], engine
                 )
                 account(result)
+                outcome.longest_pull_s = max(
+                    outcome.longest_pull_s, sim.now - at_s
+                )
         finally:
             busy[device] -= 1
 
@@ -358,6 +408,7 @@ def run_mode(
             hot_threshold=replicator_hot_threshold,
             target_replicas=replicator_target_replicas,
             engine=engine,
+            churn=churn_process if replicator_churn_aware else None,
         )
         sim.process(replicator.process())
         outcome.replicator = replicator
@@ -570,6 +621,132 @@ def run_contended(
         f"{gap / BYTES_PER_GB:.2f} GB under this overlap "
         f"({'time-resolved is strictly lower' if gap > 0 else 'NO GAP'})"
     )
+    return result
+
+
+# ----------------------------------------------------------------------
+# chunked multi-source pulls: single-source vs swarm scheduling
+# ----------------------------------------------------------------------
+
+#: (label, wave stagger seconds, churn config) regimes the chunked
+#: experiment sweeps.  "cold-wave" is the pure simultaneous cold start
+#: (no churn): the makespan axis.  "seeder-flaky" staggers arrivals so
+#: early finishers seed later ones, then churns devices fast enough
+#: that seeders routinely depart *mid-upload*: the restart-waste axis —
+#: a single-source pull loses the whole layer's delivered bytes, a
+#: chunked pull only the chunk in flight.
+CHUNKED_CHURN_REGIMES: Tuple[Tuple[str, float, Optional[ChurnConfig]], ...] = (
+    ("cold-wave", 1.0, None),
+    ("seeder-flaky", 10.0, ChurnConfig(mean_uptime_s=25.0,
+                                       mean_downtime_s=100.0,
+                                       min_online=2)),
+)
+
+
+def run_chunked(
+    n_devices: int = 8,
+    n_regions: int = 2,
+    upload_budget: int = 2,
+    chunk_size_bytes: int = 16_000_000,
+    chunk_parallel: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Quantify what chunked multi-source transfers buy on a cold wave.
+
+    Runs the contended-overlap scenario (every device pulls the same
+    image nearly simultaneously, twice) through the time-resolved
+    engine in ``hybrid+p2p`` mode, once with the single-source
+    per-layer planner and once with the chunked swarm planner, under
+    each churn regime.  The headline is the **cold-start makespan**:
+    with single sources the first wave serialises behind the origin
+    and whichever seeders commit first, while chunked pulls spread
+    rarest-first chunk requests over every full *and partial* holder —
+    devices seed chunks they have barely finished receiving.  Under
+    churn the second axis appears: a departing seeder costs a
+    single-source pull the whole layer's progress (``bytes_wasted``)
+    but a chunked pull only the chunk in flight.
+    """
+    result = ExperimentResult(
+        experiment_id="p2p-chunked",
+        title=(
+            f"Chunked multi-source pulls on a contended cold wave "
+            f"({n_devices} devices, {chunk_size_bytes // 1_000_000} MB "
+            f"chunks, window {chunk_parallel})"
+        ),
+        columns=[
+            "churn",
+            "planner",
+            "pulls",
+            "wave_makespan_s",
+            "origin_gb",
+            "peer_gb",
+            "wasted_mb",
+            "endgame_dupes",
+            "stale_misses",
+        ],
+    )
+    for label, stagger_s, churn_cfg in CHUNKED_CHURN_REGIMES:
+        outcomes: Dict[bool, ModeOutcome] = {}
+        for chunked in (False, True):
+            scenario = build_contended_scenario(
+                n_devices=n_devices,
+                n_regions=n_regions,
+                stagger_s=stagger_s,
+                seed=seed,
+            )
+            outcome = run_mode(
+                scenario,
+                "hybrid+p2p",
+                transfer_model=TransferModel.TIME_RESOLVED,
+                upload_budget=upload_budget,
+                churn=churn_cfg,
+                chunked=chunked,
+                chunk_size_bytes=chunk_size_bytes,
+                chunk_parallel=chunk_parallel,
+                replicator_churn_aware=(churn_cfg is not None),
+            )
+            outcomes[chunked] = outcome
+            if outcome.unfinished_pulls:
+                result.note(
+                    f"WARNING: {outcome.unfinished_pulls} pull(s) of the "
+                    f"churn={label} "
+                    f"{'chunked' if chunked else 'single-source'} run did "
+                    f"not finish by the horizon"
+                )
+            result.add_row(
+                churn=label,
+                planner="chunked" if chunked else "single-source",
+                pulls=outcome.pulls,
+                wave_makespan_s=outcome.longest_pull_s,
+                origin_gb=outcome.origin_bytes / BYTES_PER_GB,
+                peer_gb=(outcome.bytes_from_peers + outcome.bytes_replicated)
+                / BYTES_PER_GB,
+                wasted_mb=outcome.bytes_wasted / 1e6,
+                endgame_dupes=outcome.chunk_endgame_dupes,
+                stale_misses=outcome.stale_peer_misses,
+            )
+        single, chunked_out = outcomes[False], outcomes[True]
+        if single.longest_pull_s > 0:
+            gain = 100.0 * (
+                1.0 - chunked_out.longest_pull_s / single.longest_pull_s
+            )
+            result.note(
+                f"churn={label}: chunked cold-start wave makespan "
+                f"{chunked_out.longest_pull_s:.1f} s vs single-source "
+                f"{single.longest_pull_s:.1f} s ({gain:.1f}% faster)"
+                + ("" if gain > 0 else " — NO REDUCTION")
+            )
+        if churn_cfg is not None:
+            result.note(
+                f"churn={label}: restart waste {single.bytes_wasted / 1e6:.1f} "
+                f"MB single-source vs {chunked_out.bytes_wasted / 1e6:.1f} MB "
+                f"chunked"
+                + (
+                    " (chunking loses chunks, not layers)"
+                    if chunked_out.bytes_wasted <= single.bytes_wasted
+                    else " — chunking wasted MORE (investigate)"
+                )
+            )
     return result
 
 

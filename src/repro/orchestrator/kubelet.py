@@ -103,6 +103,17 @@ class Kubelet:
         self.monitor.count(
             "stale_peer_misses", getattr(record.pull, "stale_peer_misses", 0)
         )
+        # Bytes a mid-flight fallback threw away (whole-layer restarts
+        # on the single-source path, lost chunks / losing endgame
+        # duplicates on the chunked path) and duplicate chunk requests
+        # the chunked endgame issued; 0 on analytic pulls.
+        self.monitor.count(
+            "bytes_wasted", getattr(record.pull, "bytes_wasted", 0)
+        )
+        self.monitor.count(
+            "chunk_endgame_dupes",
+            getattr(record.pull, "chunk_endgame_dupes", 0),
+        )
         for source, count in sorted(self._bytes_by_source(record).items()):
             self.monitor.count(f"bytes_from.{source}", count)
         return record

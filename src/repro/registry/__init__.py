@@ -4,6 +4,15 @@ registries, content-addressed blobs, manifests, pulls and caching."""
 from .base import ImageReference, Registry, RegistryError, mirror_image
 from .blobstore import BlobNotFound, BlobRecord, BlobStore
 from .cache import CacheEvent, CacheFull, EvictionRecord, ImageCache
+from .chunks import (
+    DEFAULT_CHUNK_SIZE_BYTES,
+    Chunk,
+    ChunkFetchOutcome,
+    ChunkLedger,
+    ChunkMap,
+    ChunkStore,
+    ChunkSwarmPlanner,
+)
 from .client import PullPolicy, PullResult, RegistryClient
 from .digest import digest_bytes, digest_text, is_digest, short_digest
 from .discovery import (
@@ -49,6 +58,13 @@ __all__ = [
     "BucketAlreadyExists",
     "CacheEvent",
     "CacheFull",
+    "Chunk",
+    "ChunkFetchOutcome",
+    "ChunkLedger",
+    "ChunkMap",
+    "ChunkStore",
+    "ChunkSwarmPlanner",
+    "DEFAULT_CHUNK_SIZE_BYTES",
     "DiscoveryBackend",
     "DockerHub",
     "EvictionRecord",

@@ -1,0 +1,884 @@
+"""Chunked multi-source layer transfers: BitTorrent-style swarming.
+
+The planner in :mod:`repro.registry.p2p` resolves each layer to exactly
+**one** source, so a single slow seeder caps the whole pull even when
+five peers hold the same hot layer.  This module changes the unit of
+transfer: layers are split into fixed-size, digest-addressed **chunks**
+pulled *in parallel from many sources at once* (EdgePier's observation
+that P2P image distribution at the edge wins by splitting images into
+pieces served by many holders), and the per-chunk schedule is re-made
+as conditions change (continuous reasoning: seeder departure, upload
+saturation, and staleness re-resolve one chunk, not one layer).
+
+Components
+----------
+:class:`ChunkMap`
+    Deterministic fixed-size chunking of one layer.  Chunks are
+    digest-addressed (``sha256`` over layer digest × span), so the same
+    layer chunks identically on every device and registry.
+:class:`ChunkStore` / :class:`ChunkLedger`
+    Per-device partial-layer tracking riding the
+    :class:`~repro.registry.cache.ImageCache` reserve→commit path: a
+    chunked download reserves the whole layer (capacity held, digest
+    invisible), then commits chunk-by-chunk into the store — and every
+    committed chunk is published to the swarm-wide ledger, making the
+    device a *partial seeder* other pulls can fetch that chunk from
+    before the layer is complete.  Only when every chunk has landed is
+    the cache entry committed (the layer becomes a normal full replica
+    in the peer index).
+:class:`ChunkSwarmPlanner`
+    Turns the per-layer source choice into a per-chunk schedule:
+    **rarest-first** chunk selection across full holders (discovery
+    view, verified against ground truth) and partial holders (ledger),
+    up to ``max_parallel`` concurrent chunk transfers per layer through
+    the shared :class:`~repro.sim.transfers.TransferEngine`, per-chunk
+    re-resolution on :class:`~repro.sim.transfers.TransferCancelled` /
+    :class:`~repro.sim.transfers.UploadBudgetExceeded` (replacing the
+    single-source path's whole-layer restart), and an **endgame** that
+    re-requests straggling peer-sourced chunks from the registry tier
+    (duplicated bytes are metered, never silent).
+
+Determinism
+-----------
+Rarest-first ties are broken by a seeded stable hash over
+``(seed, layer digest, chunk index)`` and finally by index, so a chunk
+schedule is a pure function of the seed and the observable swarm state
+— independent of set iteration order or hash randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from ..model.units import bytes_to_mb
+from ..sim.transfers import (
+    Transfer,
+    TransferCancelled,
+    TransferEngine,
+    UploadBudgetExceeded,
+)
+from .base import RegistryError
+from .cache import CacheEvent, EvictionRecord, ImageCache
+from .digest import DIGEST_PREFIX
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .base import Registry
+    from .p2p import PeerSwarm
+
+#: Default chunk size (decimal MB convention, like image sizes): large
+#: enough that per-chunk latency does not dominate, small enough that a
+#: typical 100–800 MB layer splits into double-digit chunk counts.
+DEFAULT_CHUNK_SIZE_BYTES = 32_000_000
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One fixed-size span of a layer, digest-addressed."""
+
+    layer_digest: str
+    index: int
+    offset: int
+    size_bytes: int
+    digest: str
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size_bytes
+
+
+class ChunkMap:
+    """Deterministic fixed-size chunking of one layer.
+
+    Chunks tile ``[0, layer_size_bytes)`` exactly: every chunk but the
+    last is ``chunk_size_bytes`` long, the last carries the remainder.
+    A zero-byte layer still maps to one zero-byte chunk so every layer
+    has at least one observable completion.
+    """
+
+    def __init__(
+        self,
+        layer_digest: str,
+        layer_size_bytes: int,
+        chunk_size_bytes: int = DEFAULT_CHUNK_SIZE_BYTES,
+    ) -> None:
+        if layer_size_bytes < 0:
+            raise ValueError(f"negative layer size: {layer_size_bytes}")
+        if chunk_size_bytes <= 0:
+            raise ValueError(f"chunk size must be > 0, got {chunk_size_bytes}")
+        self.layer_digest = layer_digest
+        self.layer_size_bytes = layer_size_bytes
+        self.chunk_size_bytes = chunk_size_bytes
+        chunks: List[Chunk] = []
+        offset = 0
+        index = 0
+        while offset < layer_size_bytes or index == 0:
+            size = min(chunk_size_bytes, layer_size_bytes - offset)
+            chunks.append(
+                Chunk(
+                    layer_digest=layer_digest,
+                    index=index,
+                    offset=offset,
+                    size_bytes=size,
+                    digest=_chunk_digest(layer_digest, index, offset, size),
+                )
+            )
+            offset += size
+            index += 1
+        self.chunks: Tuple[Chunk, ...] = tuple(chunks)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    def chunk(self, index: int) -> Chunk:
+        return self.chunks[index]
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def __iter__(self):
+        return iter(self.chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkMap({self.layer_digest[:19]}…, {self.layer_size_bytes} B, "
+            f"{self.n_chunks} × {self.chunk_size_bytes} B)"
+        )
+
+
+def _chunk_digest(layer_digest: str, index: int, offset: int, size: int) -> str:
+    """Content-style address of one chunk (layer digest × span)."""
+    h = hashlib.sha256(
+        f"{layer_digest}:{index}:{offset}:{size}".encode("utf-8")
+    ).hexdigest()
+    return DIGEST_PREFIX + h
+
+
+class ChunkLedger:
+    """Swarm-wide map of *partial* layer holdings.
+
+    ``(layer digest, chunk index) → devices`` holding that chunk of a
+    layer they have **not finished** downloading.  Full replicas live
+    in the :class:`~repro.registry.p2p.PeerIndex` (they implicitly hold
+    every chunk); the ledger covers only the in-flight window where a
+    device can already seed the chunks it has.  Entries are ground
+    truth — :class:`ChunkStore` writes them synchronously on chunk
+    commit and drops them on finish/abort — so partial holders need no
+    staleness verification.
+    """
+
+    def __init__(self) -> None:
+        # layer digest -> chunk index -> set of devices
+        self._chunks: Dict[str, Dict[int, Set[str]]] = {}
+        # device -> layer digests it partially holds (for drops)
+        self._by_device: Dict[str, Set[str]] = {}
+
+    def add_chunk(self, device: str, layer_digest: str, index: int) -> None:
+        self._chunks.setdefault(layer_digest, {}).setdefault(index, set()).add(
+            device
+        )
+        self._by_device.setdefault(device, set()).add(layer_digest)
+
+    def drop_layer(self, device: str, layer_digest: str) -> None:
+        """Forget ``device``'s partial holding of ``layer_digest``."""
+        per_layer = self._chunks.get(layer_digest)
+        if per_layer is not None:
+            for index in [i for i, holders in per_layer.items() if device in holders]:
+                per_layer[index].discard(device)
+                if not per_layer[index]:
+                    del per_layer[index]
+            if not per_layer:
+                del self._chunks[layer_digest]
+        layers = self._by_device.get(device)
+        if layers is not None:
+            layers.discard(layer_digest)
+            if not layers:
+                del self._by_device[device]
+
+    def drop_device(self, device: str) -> None:
+        """Forget every partial holding of ``device`` (departure)."""
+        for layer_digest in sorted(self._by_device.get(device, set())):
+            self.drop_layer(device, layer_digest)
+
+    def chunk_holders(self, layer_digest: str, index: int) -> FrozenSet[str]:
+        """Partial holders of one chunk (full replicas not included)."""
+        return frozenset(self._chunks.get(layer_digest, {}).get(index, ()))
+
+    def partial_layers(self, device: str) -> FrozenSet[str]:
+        return frozenset(self._by_device.get(device, ()))
+
+    def tracked_layers(self) -> List[str]:
+        return sorted(self._chunks)
+
+
+class ChunkStore:
+    """One device's partial layers, riding the cache reserve→commit path.
+
+    Lifecycle per layer::
+
+        begin_layer(cmap)      cache.reserve(layer)  — capacity held,
+                               digest invisible to the peer index
+        commit_chunk(l, i)     chunk recorded + published to the ledger
+                               (the device becomes a partial seeder)
+        finish_layer(l)        every chunk landed: partial record drops,
+                               cache.commit(layer) — the layer becomes a
+                               normal full replica (peer-index "add")
+        abort_layer(l)         partial record drops, cache.release(layer)
+
+    The store subscribes to its cache: if the layer lands through some
+    other path mid-download (an analytic ``add()`` absorbing the
+    reservation) or leaves it (``clear()``), the partial record and its
+    ledger entries are dropped so the ledger never advertises chunks
+    the swarm cannot rely on.
+    """
+
+    def __init__(self, device: str, cache: ImageCache, ledger: ChunkLedger) -> None:
+        self.device = device
+        self.cache = cache
+        self.ledger = ledger
+        self._partial: Dict[str, Set[int]] = {}
+        self._maps: Dict[str, ChunkMap] = {}
+        cache.subscribe(self._on_cache_event)
+
+    def _on_cache_event(self, event: CacheEvent) -> None:
+        if event.digest in self._partial:
+            # The layer's presence changed underneath the download
+            # (instant add absorbed the reservation, or clear/remove
+            # dropped it): the partial record is moot either way.
+            self._drop(event.digest)
+
+    def _drop(self, layer_digest: str) -> None:
+        self._partial.pop(layer_digest, None)
+        self._maps.pop(layer_digest, None)
+        self.ledger.drop_layer(self.device, layer_digest)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin_layer(self, cmap: ChunkMap) -> List[EvictionRecord]:
+        """Reserve the layer's bytes and open its chunk record."""
+        if cmap.layer_digest in self._partial:
+            raise RegistryError(
+                f"chunked download of {cmap.layer_digest} already in "
+                f"flight on {self.device!r}"
+            )
+        evictions = self.cache.reserve(cmap.layer_digest, cmap.layer_size_bytes)
+        self._partial[cmap.layer_digest] = set()
+        self._maps[cmap.layer_digest] = cmap
+        return evictions
+
+    def commit_chunk(self, layer_digest: str, index: int) -> bool:
+        """Record one landed chunk; publishes it to the ledger.
+
+        Returns True when the chunk was newly recorded.  Committing the
+        same chunk twice is a scheduling bug (the exactly-once
+        reassembly invariant) and raises; committing into a layer whose
+        record was absorbed by an out-of-band insert is a no-op.
+        """
+        held = self._partial.get(layer_digest)
+        if held is None:
+            return False  # absorbed/aborted out from under the download
+        cmap = self._maps[layer_digest]
+        if not 0 <= index < cmap.n_chunks:
+            raise ValueError(
+                f"chunk index {index} out of range for {layer_digest} "
+                f"({cmap.n_chunks} chunks)"
+            )
+        if index in held:
+            raise RegistryError(
+                f"chunk {index} of {layer_digest} committed twice on "
+                f"{self.device!r}"
+            )
+        held.add(index)
+        self.ledger.add_chunk(self.device, layer_digest, index)
+        return True
+
+    def finish_layer(self, layer_digest: str) -> bool:
+        """All chunks landed: commit the cache entry (reserve→commit).
+
+        The partial record is cleared *before* the cache commit so the
+        ledger stops advertising partial chunks at the same instant the
+        peer index starts advertising the full replica.  Returns the
+        cache's commit result (False when the reservation was already
+        absorbed by an instant insert).
+        """
+        held = self._partial.get(layer_digest)
+        if held is not None:
+            cmap = self._maps[layer_digest]
+            missing = set(range(cmap.n_chunks)) - held
+            if missing:
+                raise RegistryError(
+                    f"finish_layer({layer_digest}) on {self.device!r} with "
+                    f"{len(missing)} chunk(s) missing: {sorted(missing)[:8]}"
+                )
+            self._drop(layer_digest)
+        return self.cache.commit(layer_digest)
+
+    def abort_layer(self, layer_digest: str) -> None:
+        """Cancelled download: drop partial chunks, release the bytes."""
+        self._drop(layer_digest)
+        self.cache.release(layer_digest)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_chunk(self, layer_digest: str, index: int) -> bool:
+        return index in self._partial.get(layer_digest, ())
+
+    def chunk_indices(self, layer_digest: str) -> FrozenSet[int]:
+        return frozenset(self._partial.get(layer_digest, ()))
+
+    def missing_chunks(self, layer_digest: str) -> List[int]:
+        cmap = self._maps.get(layer_digest)
+        if cmap is None:
+            return []
+        return sorted(set(range(cmap.n_chunks)) - self._partial[layer_digest])
+
+    def is_partial(self, layer_digest: str) -> bool:
+        return layer_digest in self._partial
+
+
+@dataclass
+class ChunkFetchOutcome:
+    """What one chunked layer fetch produced (consumed by the facade).
+
+    ``bytes_by_source`` keys are ``(kind, source)`` with kind one of
+    ``"peer"`` / ``"registry"`` — the facade converts them to
+    :class:`~repro.registry.p2p.LayerSource` entries (kept as strings
+    here to avoid an import cycle with :mod:`repro.registry.p2p`).
+    """
+
+    layer_digest: str
+    seconds: float = 0.0
+    evictions: List[EvictionRecord] = field(default_factory=list)
+    bytes_by_source: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    stale_misses: int = 0
+    wasted_bytes: int = 0
+    endgame_dupes: int = 0
+    chunk_transfers: int = 0
+    #: True when the layer landed without moving bytes (it was already
+    #: present / absorbed by a concurrent insert before any transfer).
+    local: bool = False
+
+
+class _LayerFetch:
+    """Shared mutable state of one layer's chunk workers."""
+
+    __slots__ = (
+        "cmap",
+        "pending",
+        "done",
+        "inflight",
+        "dup_requested",
+        "outcome",
+        "aborted",
+    )
+
+    def __init__(self, cmap: ChunkMap, outcome: ChunkFetchOutcome) -> None:
+        self.cmap = cmap
+        self.pending: Set[int] = set(range(cmap.n_chunks))
+        self.done: Set[int] = set()
+        # chunk index -> list of (transfer, kind, source) currently on
+        # the wire for it (more than one only during endgame).
+        self.inflight: Dict[int, List[Tuple[Transfer, str, str]]] = {}
+        self.dup_requested: Set[int] = set()
+        self.outcome = outcome
+        self.aborted = False
+
+    @property
+    def complete(self) -> bool:
+        return len(self.done) == self.cmap.n_chunks
+
+
+class ChunkSwarmPlanner:
+    """Per-chunk scheduling across every holder the swarm can see.
+
+    One planner serves one :class:`~repro.registry.p2p.P2PRegistry`
+    facade.  It owns the swarm-wide :class:`ChunkLedger`, one
+    :class:`ChunkStore` per participating device, and the endgame /
+    rarest-first policy knobs.
+
+    Parameters
+    ----------
+    swarm / registries:
+        Topology + discovery (holders of full replicas) and the
+        preference-ordered registry fallback chain (regional → hub).
+    chunk_size_bytes:
+        The unit of transfer.
+    max_parallel:
+        Concurrent chunk transfers per layer fetch (the swarming
+        window).  1 degenerates to sequential chunking.
+    seed:
+        Seeds the rarest-first tie-break (stable, deterministic).
+    endgame:
+        When True, straggling peer-sourced chunks are re-requested
+        from the registry tier once no unclaimed chunks remain; the
+        duplicate bytes are metered in ``endgame_dupes`` /
+        ``wasted_bytes``.
+    use_peers:
+        False restricts every chunk to the registry tier (mirrors
+        ``PullPlanner(use_peers=False)`` — the peer-less baselines
+        must stay peer-less when chunked).
+    """
+
+    def __init__(
+        self,
+        swarm: "PeerSwarm",
+        registries: Sequence["Registry"],
+        chunk_size_bytes: int = DEFAULT_CHUNK_SIZE_BYTES,
+        max_parallel: int = 4,
+        seed: int = 0,
+        endgame: bool = True,
+        use_peers: bool = True,
+    ) -> None:
+        if max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+        if chunk_size_bytes <= 0:
+            raise ValueError(
+                f"chunk_size_bytes must be > 0, got {chunk_size_bytes}"
+            )
+        self.swarm = swarm
+        self.registries = list(registries)
+        self.chunk_size_bytes = chunk_size_bytes
+        self.max_parallel = max_parallel
+        self.seed = seed
+        self.endgame = endgame
+        self.use_peers = use_peers
+        self.ledger = ChunkLedger()
+        self._stores: Dict[str, ChunkStore] = {}
+        self._inflight_layers: Dict[Tuple[str, str], object] = {}
+        # planner-wide diagnostics
+        self.chunk_transfers = 0
+        self.endgame_dupes = 0
+        self.wasted_bytes = 0
+
+    # ------------------------------------------------------------------
+    # stores and join events
+    # ------------------------------------------------------------------
+    def store_for(self, device: str, cache: ImageCache) -> ChunkStore:
+        store = self._stores.get(device)
+        if store is None:
+            store = ChunkStore(device, cache, self.ledger)
+            self._stores[device] = store
+        elif store.cache is not cache:
+            raise ValueError(
+                f"device {device!r} re-registered with a different cache"
+            )
+        return store
+
+    def inflight_event(self, device: str, layer_digest: str):
+        """The completion event of an in-flight chunked fetch of
+        ``layer_digest`` onto ``device`` (None when there is none).
+        Concurrent pulls wait on it instead of double-fetching."""
+        return self._inflight_layers.get((device, layer_digest))
+
+    # ------------------------------------------------------------------
+    # rarest-first selection
+    # ------------------------------------------------------------------
+    def _tiebreak(self, device: str, layer_digest: str, index: int) -> int:
+        """Seeded stable tie-break for equal-rarity chunks.
+
+        Salted by the *claiming device* so equally-rare chunks are
+        claimed in a different order on every device — without this a
+        cold wave moves in lockstep (every device fetches the same
+        chunk at the same instant) and nobody ever holds a chunk its
+        neighbours lack, which is exactly the dispersion BitTorrent's
+        random-first/rarest-first policy exists to create.  Still a
+        pure function of ``(seed, device, layer, index)``: runs are
+        reproducible and the ordering is stable under set iteration.
+        """
+        h = hashlib.sha256(
+            f"{self.seed}:{device}:{layer_digest}:{index}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(h[:8], "big")
+
+    def _full_holders(self, device: str, layer_digest: str) -> FrozenSet[str]:
+        """Full-replica holders as ``device`` sees them (index-free)."""
+        return self.swarm.discovery.view(device, layer_digest) - {device}
+
+    def availability(self, device: str, layer_digest: str, index: int) -> int:
+        """Holders of one chunk as ``device`` can see them: full
+        replicas in the discovery view (unverified — this is a count
+        for ordering, verification happens at fetch time) plus partial
+        holders in the ledger."""
+        full = self._full_holders(device, layer_digest)
+        partial = self.ledger.chunk_holders(layer_digest, index) - {device}
+        return len(full | partial)
+
+    def rarest_first(
+        self, device: str, cmap: ChunkMap, pending: Optional[Set[int]] = None
+    ) -> List[int]:
+        """Pending chunks ordered rarest-first (seeded stable ties).
+
+        Public so the ordering itself is testable without running a
+        simulation: sorted by (availability, seeded hash, index).
+        """
+        indices = (
+            sorted(pending) if pending is not None else range(cmap.n_chunks)
+        )
+        # One discovery lookup per ordering, not per index: the full-
+        # holder set does not depend on the chunk.
+        full = self._full_holders(device, cmap.layer_digest)
+        layer = cmap.layer_digest
+        return sorted(
+            indices,
+            key=lambda i: (
+                len(full | (self.ledger.chunk_holders(layer, i) - {device})),
+                self._tiebreak(device, layer, i),
+                i,
+            ),
+        )
+
+    def _next_chunk(self, st: _LayerFetch, device: str) -> Optional[int]:
+        if not st.pending:
+            return None
+        layer = st.cmap.layer_digest
+        full = self._full_holders(device, layer)
+        best = min(
+            st.pending,
+            key=lambda i: (
+                len(full | (self.ledger.chunk_holders(layer, i) - {device})),
+                self._tiebreak(device, layer, i),
+                i,
+            ),
+        )
+        st.pending.discard(best)
+        return best
+
+    # ------------------------------------------------------------------
+    # endgame
+    # ------------------------------------------------------------------
+    def _endgame_candidate(
+        self, st: _LayerFetch, device: str, engine: TransferEngine
+    ) -> Optional[int]:
+        """A straggling peer-sourced chunk worth duplicating.
+
+        Eligible: in flight from a peer, no duplicate issued yet, and
+        the registry tier's estimated fetch is meaningfully faster than
+        the transfer's remaining time at its current rate.  Returns the
+        longest-running eligible chunk (stable tie-break by index).
+        """
+        candidates: List[Tuple[float, int]] = []
+        for index, entries in st.inflight.items():
+            if index in st.done or index in st.dup_requested:
+                continue
+            live = [
+                t
+                for t, kind, _s in entries
+                if kind == "peer"
+                and t.completed_s is None
+                and not t.cancelled
+            ]
+            if not live:
+                # No live peer transfer: either registry-sourced (the
+                # endgame has nothing faster to offer) or already
+                # finished and merely awaiting its worker's resume.
+                continue
+            transfer = live[0]
+            if transfer.rate_mbps > 0:
+                remaining_s = (
+                    transfer.remaining_mb * 8.0 / transfer.rate_mbps
+                )
+            else:
+                # Still in its connection-latency phase: fall back to
+                # the payload over the path's bottleneck capacity.
+                remaining_s = transfer.lower_bound_s
+            registry_s = self._best_registry_seconds(
+                st.cmap.chunk(index), device, engine
+            )
+            if registry_s is None or registry_s >= 0.8 * remaining_s:
+                continue
+            candidates.append((transfer.requested_s, index))
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _best_registry_seconds(
+        self, chunk: Chunk, device: str, engine: TransferEngine
+    ) -> Optional[float]:
+        network = self.swarm.network
+        best: Optional[float] = None
+        size_mb = bytes_to_mb(chunk.size_bytes)
+        for registry in self.registries:
+            if chunk.layer_digest not in registry.blobs:
+                continue
+            if not network.has_registry_channel(registry.name, device):
+                continue
+            seconds = engine.estimated_transfer_s(
+                registry.name, device, size_mb, src_is_registry=True
+            )
+            if best is None or seconds < best:
+                best = seconds
+        return best
+
+    # ------------------------------------------------------------------
+    # per-chunk source resolution
+    # ------------------------------------------------------------------
+    def _resolve_chunk(
+        self,
+        st: _LayerFetch,
+        chunk: Chunk,
+        device: str,
+        excluded: Set[str],
+        registry_only: bool = False,
+    ) -> Optional[Tuple[str, str]]:
+        """Cheapest verified source of one chunk right now.
+
+        Returns ``(kind, source)`` with kind ``"peer"``/``"registry"``,
+        or None when nothing can serve the chunk.  Full-replica claims
+        from the discovery view are verified against the ground-truth
+        index (stale entries metered and excluded, like the
+        single-source path); partial holders come from the ledger,
+        which is ground truth, and are only required to still be swarm
+        members.
+        """
+        network = self.swarm.network
+        layer = chunk.layer_digest
+        size_mb = bytes_to_mb(chunk.size_bytes)
+        best_peer: Optional[Tuple[float, str]] = None
+        if self.use_peers and not registry_only:
+            partial = self.ledger.chunk_holders(layer, chunk.index)
+            candidates: Set[str] = set()
+            for holder in self.swarm.discovery.view(device, layer):
+                if holder != device and holder not in excluded:
+                    candidates.add(holder)
+            for holder in partial:
+                if (
+                    holder != device
+                    and holder not in excluded
+                    and self.swarm.is_member(holder)
+                ):
+                    candidates.add(holder)
+            while candidates:
+                peer = self.swarm._fastest(candidates, device)
+                if peer is None:
+                    break
+                if peer not in partial and not self.swarm.verify_holder(
+                    device, peer, layer
+                ):
+                    st.outcome.stale_misses += 1
+                    candidates.discard(peer)
+                    continue
+                seconds = network.device_channel(peer, device).transfer_time_s(
+                    size_mb
+                )
+                best_peer = (seconds, peer)
+                break
+        best: Optional[Tuple[float, str, str]] = None
+        if best_peer is not None:
+            best = (best_peer[0], "peer", best_peer[1])
+        for registry in self.registries:
+            if layer not in registry.blobs:
+                continue
+            if not network.has_registry_channel(registry.name, device):
+                continue
+            seconds = network.registry_channel(
+                registry.name, device
+            ).transfer_time_s(size_mb)
+            if best is None or seconds < best[0]:
+                best = (seconds, "registry", registry.name)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    # the chunked layer fetch (a DES process)
+    # ------------------------------------------------------------------
+    def fetch_layer(
+        self,
+        device: str,
+        cache: ImageCache,
+        layer_digest: str,
+        layer_size_bytes: int,
+        engine: TransferEngine,
+        meter_registry: Optional[Callable[[str], None]] = None,
+    ):
+        """Generator fetching one layer chunk-by-chunk onto ``device``.
+
+        The caller yields from it inside a simulator process; the
+        return value is a :class:`ChunkFetchOutcome`.  The layer is
+        reserved up front (capacity held), chunks land in parallel from
+        up to ``max_parallel`` sources, and the cache entry commits
+        only when every chunk has.  On failure (no source can serve a
+        chunk, or registry metering raises) the reservation is released
+        and the error propagates — exactly the single-source contract.
+        """
+        sim = engine.sim
+        outcome = ChunkFetchOutcome(layer_digest=layer_digest)
+        store = self.store_for(device, cache)
+        cmap = ChunkMap(layer_digest, layer_size_bytes, self.chunk_size_bytes)
+        outcome.evictions.extend(store.begin_layer(cmap))
+        st = _LayerFetch(cmap, outcome)
+        done_event = sim.event()
+        self._inflight_layers[(device, layer_digest)] = done_event
+        started_s = sim.now
+        try:
+            workers = [
+                sim.process(
+                    self._worker(st, store, device, cache, engine, meter_registry)
+                )
+                for _ in range(min(self.max_parallel, cmap.n_chunks))
+            ]
+            yield sim.all_of(workers)
+        except BaseException:
+            st.aborted = True
+            for entries in list(st.inflight.values()):
+                for transfer, _kind, _source in list(entries):
+                    engine.cancel(transfer, reason="chunked fetch aborted")
+            store.abort_layer(layer_digest)
+            raise
+        finally:
+            del self._inflight_layers[(device, layer_digest)]
+            if not done_event.triggered:
+                done_event.succeed(None)
+        store.finish_layer(layer_digest)
+        outcome.seconds = sim.now - started_s
+        outcome.local = not outcome.bytes_by_source
+        self.chunk_transfers += outcome.chunk_transfers
+        self.endgame_dupes += outcome.endgame_dupes
+        self.wasted_bytes += outcome.wasted_bytes
+        return outcome
+
+    def _worker(
+        self,
+        st: _LayerFetch,
+        store: ChunkStore,
+        device: str,
+        cache: ImageCache,
+        engine: TransferEngine,
+        meter_registry: Optional[Callable[[str], None]],
+    ):
+        """One chunk-slot worker: claim → resolve → transfer → commit,
+        looping until no pending chunk and no endgame work remains."""
+        sim = engine.sim
+        layer = st.cmap.layer_digest
+        while True:
+            if st.aborted:
+                return
+            if layer in cache:
+                # The layer landed through another path (instant insert
+                # absorbed the reservation): nothing left to fetch.
+                st.pending.clear()
+                return
+            duplicate = False
+            index = self._next_chunk(st, device)
+            if index is None:
+                if not self.endgame or st.complete:
+                    return
+                index = self._endgame_candidate(st, device, engine)
+                if index is None:
+                    return
+                duplicate = True
+                st.dup_requested.add(index)
+            chunk = st.cmap.chunk(index)
+            excluded: Set[str] = set()
+            while True:
+                if st.aborted:
+                    return
+                if index in st.done:
+                    break  # endgame race already resolved this chunk
+                resolved = self._resolve_chunk(
+                    st, chunk, device, excluded, registry_only=duplicate
+                )
+                if resolved is None:
+                    if duplicate:
+                        break  # no registry can duplicate it; fine
+                    raise RegistryError(
+                        f"chunk {index} of layer {layer} unreachable from "
+                        f"{device!r}: no peer or registry source"
+                    )
+                kind, source = resolved
+                try:
+                    if kind == "peer":
+                        transfer = engine.start(
+                            source, device, chunk.size_bytes, digest=chunk.digest
+                        )
+                    else:
+                        if meter_registry is not None:
+                            try:
+                                meter_registry(source)
+                            except Exception:
+                                if duplicate:
+                                    # A purely speculative endgame copy
+                                    # must never sink a pull the peer
+                                    # path is already completing: give
+                                    # the duplicate up, keep waiting.
+                                    break
+                                # A *required* registry chunk: the
+                                # metering failure (hub rate limiting)
+                                # propagates, aborting the fetch like
+                                # the single-source path's would.
+                                raise
+                        transfer = engine.start(
+                            source,
+                            device,
+                            chunk.size_bytes,
+                            src_is_registry=True,
+                            digest=chunk.digest,
+                        )
+                except UploadBudgetExceeded:
+                    excluded.add(source)
+                    continue
+                st.outcome.chunk_transfers += 1
+                if duplicate:
+                    st.outcome.endgame_dupes += 1
+                entry = (transfer, kind, source)
+                st.inflight.setdefault(index, []).append(entry)
+                try:
+                    yield transfer.done
+                    completed = True
+                except TransferCancelled:
+                    completed = False
+                entries = st.inflight.get(index)
+                if entries is not None:
+                    try:
+                        entries.remove(entry)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    if not entries:
+                        st.inflight.pop(index, None)
+                if not completed:
+                    # Seeder departed / duplicate lost the race / fetch
+                    # aborted: the bytes already moved are waste either
+                    # way — meter them, then re-resolve unless done.
+                    st.outcome.wasted_bytes += transfer.moved_bytes
+                    if st.aborted:
+                        return
+                    if index in st.done:
+                        break
+                    excluded.add(source)
+                    continue
+                if st.aborted:
+                    return
+                if index in st.done:
+                    # Both the original and its endgame duplicate
+                    # finished in the same engine wake: the second
+                    # payload is pure duplication.
+                    st.outcome.wasted_bytes += chunk.size_bytes
+                    break
+                st.done.add(index)
+                store.commit_chunk(layer, index)
+                key = (kind, source)
+                st.outcome.bytes_by_source[key] = (
+                    st.outcome.bytes_by_source.get(key, 0) + chunk.size_bytes
+                )
+                # First completion wins: any rival transfer still on
+                # the wire for this chunk is duplication — cancel it so
+                # its bandwidth frees now (its worker meters the waste).
+                for rival, _k, _s in list(st.inflight.get(index, [])):
+                    engine.cancel(
+                        rival, reason="chunk completed via faster source"
+                    )
+                break

@@ -32,7 +32,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..model.device import Arch
 from ..model.network import NetworkModel
@@ -45,9 +55,13 @@ from ..sim.transfers import (
 )
 from .base import ImageReference, Registry, RegistryError
 from .cache import CacheEvent, CacheFull, CacheListener, EvictionRecord, ImageCache
+from .chunks import DEFAULT_CHUNK_SIZE_BYTES, ChunkFetchOutcome, ChunkSwarmPlanner
 from .discovery import DiscoveryBackend, OmniscientDiscovery
 from .manifest import ImageManifest
 from .repository import ManifestNotFound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.churn import ChurnProcess
 
 
 class PeerIndex:
@@ -224,6 +238,10 @@ class PeerSwarm:
 
     def region_of(self, device: str) -> str:
         return self._regions[device]
+
+    def is_member(self, device: str) -> bool:
+        """Whether ``device`` is currently joined (not churned out)."""
+        return device in self._regions
 
     def members(self, region: str) -> FrozenSet[str]:
         return frozenset(self._members.get(region, ()))
@@ -488,6 +506,14 @@ class P2PPullResult:
     #: during this pull (stale view entries: evicted layers, departed
     #: holders).  Always 0 under omniscient discovery.
     stale_peer_misses: int = 0
+    #: Bytes that moved over links but were thrown away: progress of a
+    #: transfer abandoned mid-flight (seeder departed and the pull fell
+    #: back) plus losing endgame duplicates.  Always 0 on the analytic
+    #: path, where transfers never fall back mid-flight.
+    bytes_wasted: int = 0
+    #: Duplicate chunk re-requests issued by the chunked endgame (0 on
+    #: single-source pulls).
+    chunk_endgame_dupes: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -527,6 +553,17 @@ class P2PRegistry:
     registry chain is preference-ordered (regional before hub); tag
     resolution walks the chain and uses the first registry that can
     serve the reference, so hub-only images still resolve.
+
+    ``chunked=True`` (opt-in; needs the time-resolved engine) replaces
+    the per-layer single-source fetch of :meth:`pull_process` with the
+    BitTorrent-style per-chunk schedule of
+    :class:`~repro.registry.chunks.ChunkSwarmPlanner`: rarest-first
+    chunk selection across full and *partial* holders, up to
+    ``chunk_parallel`` concurrent sources per layer, endgame registry
+    re-requests for stragglers, and per-chunk (not per-layer)
+    re-resolution on seeder departure or saturation.  The default
+    ``chunked=False`` keeps the analytic and single-source paths
+    bit-for-bit unchanged.
     """
 
     def __init__(
@@ -535,10 +572,26 @@ class P2PRegistry:
         registries: Sequence[Registry],
         name: str = "p2p",
         use_peers: bool = True,
+        chunked: bool = False,
+        chunk_size_bytes: int = DEFAULT_CHUNK_SIZE_BYTES,
+        chunk_parallel: int = 4,
+        chunk_seed: int = 0,
+        chunk_endgame: bool = True,
     ) -> None:
         self.swarm = swarm
         self.name = name
         self.planner = PullPlanner(swarm, registries, use_peers=use_peers)
+        self.chunks: Optional[ChunkSwarmPlanner] = None
+        if chunked:
+            self.chunks = ChunkSwarmPlanner(
+                swarm,
+                self.planner.registries,
+                chunk_size_bytes=chunk_size_bytes,
+                max_parallel=chunk_parallel,
+                seed=chunk_seed,
+                endgame=chunk_endgame,
+                use_peers=use_peers,
+            )
 
     @property
     def registries(self) -> List[Registry]:
@@ -610,6 +663,19 @@ class P2PRegistry:
         evictions: List[EvictionRecord] = []
         sources: List[LayerSource] = []
         stale_misses = 0
+        wasted_bytes = 0
+        endgame_dupes = 0
+
+        def meter_registry(registry_name: str) -> None:
+            # Mirrors the single-source path: blob existence check per
+            # layer, pull metering once per registry per pull (may
+            # raise — hub rate limiting — aborting the fetch).
+            registry = self._registry_named(registry_name)
+            registry.fetch_blob(layer.digest)
+            if registry_name not in metered:
+                registry.meter_pull(device, sim.now)
+                metered.add(registry_name)
+
         for layer in manifest.layers:
             layer_start = sim.now
             joined = False
@@ -634,6 +700,16 @@ class P2PRegistry:
                     # Another process (concurrent pull or replicator
                     # copy) is already landing this layer here: join
                     # its download instead of fetching twice.
+                    if self.chunks is not None:
+                        waiter = self.chunks.inflight_event(
+                            device, layer.digest
+                        )
+                        if waiter is not None:
+                            # A chunked fetch is assembling the layer;
+                            # wait for it to finish (or abort), then
+                            # re-check presence.
+                            yield waiter
+                            continue
                     other = engine.inflight_to(device, layer.digest)
                     if other is not None:
                         try:
@@ -654,6 +730,23 @@ class P2PRegistry:
                     continue
                 break
             if joined:
+                continue
+            if self.chunks is not None:
+                outcome = yield from self.chunks.fetch_layer(
+                    device,
+                    cache,
+                    layer.digest,
+                    layer.size_bytes,
+                    engine,
+                    meter_registry=meter_registry,
+                )
+                evictions.extend(outcome.evictions)
+                sources.extend(self._chunk_sources(layer, outcome, device))
+                stale_misses += outcome.stale_misses
+                wasted_bytes += outcome.wasted_bytes
+                endgame_dupes += outcome.endgame_dupes
+                if not outcome.local:
+                    self.swarm.record_demand(layer.digest, device)
                 continue
             evictions.extend(cache.reserve(layer.digest, layer.size_bytes))
             excluded: Set[str] = set()
@@ -717,6 +810,11 @@ class P2PRegistry:
                 try:
                     yield transfer.done
                 except TransferCancelled:
+                    # Whole-layer restart: everything the dead transfer
+                    # already delivered is thrown away.  Metering it is
+                    # the baseline the chunked path improves on (only
+                    # the cancelled *chunk*'s progress is lost there).
+                    wasted_bytes += transfer.moved_bytes
                     excluded.add(best.source)
                     continue
                 cache.commit(layer.digest)
@@ -739,7 +837,52 @@ class P2PRegistry:
             plan=PullPlan(device=device, layers=tuple(sources)),
             evictions=tuple(evictions),
             stale_peer_misses=stale_misses,
+            bytes_wasted=wasted_bytes,
+            chunk_endgame_dupes=endgame_dupes,
         )
+
+    def _chunk_sources(
+        self, layer, outcome: ChunkFetchOutcome, device: str
+    ) -> List[LayerSource]:
+        """Per-source plan entries for one chunked layer fetch.
+
+        One :class:`LayerSource` per distinct serving source, sized by
+        the chunk bytes it delivered — so downstream accounting
+        (``bytes_by_registry``, kubelet ``bytes_from.<name>`` counters)
+        is chunk-granular for free.  The layer's wall-clock duration is
+        carried by the largest contributor (ties: source name) and the
+        rest report 0 s, keeping ``plan.seconds`` a sum of per-layer
+        wall times like the single-source path.  A layer that landed
+        without moving bytes (absorbed by a concurrent insert) is one
+        LOCAL entry.
+        """
+        if outcome.local:
+            return [
+                LayerSource(
+                    layer.digest,
+                    layer.size_bytes,
+                    SourceKind.LOCAL,
+                    device,
+                    outcome.seconds,
+                )
+            ]
+        entries = sorted(
+            outcome.bytes_by_source.items(),
+            key=lambda item: (-item[1], item[0][1]),
+        )
+        primary = entries[0][0]
+        out: List[LayerSource] = []
+        for (kind, source), size in entries:
+            out.append(
+                LayerSource(
+                    layer.digest,
+                    size,
+                    SourceKind.PEER if kind == "peer" else SourceKind.REGISTRY,
+                    source,
+                    outcome.seconds if (kind, source) == primary else 0.0,
+                )
+            )
+        return out
 
     def _registry_named(self, name: str) -> Registry:
         for registry in self.planner.registries:
@@ -897,6 +1040,7 @@ class AdaptiveReplicator:
         decay: float = 0.5,
         max_actions_per_cycle: int = 64,
         engine: Optional[TransferEngine] = None,
+        churn: Optional["ChurnProcess"] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -916,6 +1060,14 @@ class AdaptiveReplicator:
         #: landing instantly; ``bytes_replicated`` then counts only
         #: *delivered* copies.
         self.engine = engine
+        #: When set, replication targets become churn-aware: a region's
+        #: replica count weights each holder by its *observed*
+        #: availability (:meth:`~repro.sim.churn.ChurnProcess.availability`),
+        #: so a region whose holders keep departing is treated as
+        #: under-provisioned instead of counted at face value.  Without
+        #: a churn process (or before any departure is observed) every
+        #: weight is 1.0 — bit-for-bit the historical behaviour.
+        self.churn = churn
         self.history: List[ReplicatorCycle] = []
         self.bytes_replicated = 0
         self._scores: Dict[Tuple[str, str], float] = {}
@@ -992,7 +1144,7 @@ class AdaptiveReplicator:
         if not holders:
             return None  # nobody to copy from; the next pull will seed it
         in_region = holders & self.swarm.members(region)
-        if len(in_region) >= self.target_replicas:
+        if self._effective_replicas(in_region) >= self.target_replicas:
             return None
         size = discovery.size_of(digest)
         if size is None:
@@ -1047,6 +1199,20 @@ class AdaptiveReplicator:
                 seconds=seconds,
             )
         return None
+
+    def _effective_replicas(self, holders: Set[str]) -> float:
+        """Availability-weighted replica count of one region's holders.
+
+        Face-value counting treats a replica on a device that is
+        online 20% of the time like one that never leaves; weighting
+        by observed session behaviour makes departure-prone regions
+        look under-provisioned — which they are, from the perspective
+        of the next pull.  Without a churn process every weight is 1
+        and this is exactly ``len(holders)``.
+        """
+        if self.churn is None:
+            return float(len(holders))
+        return sum(self.churn.availability(holder) for holder in holders)
 
     def _verified_source(
         self, holders: Set[str], target: str, digest: str

@@ -116,6 +116,14 @@ class ChurnProcess:
         self.blocked_departures = 0
         self._offline: Dict[str, tuple] = {}  # device -> (cache, region)
         self._started = False
+        # Observed session statistics: completed online-session lengths
+        # (set at depart) and offline-gap lengths (set at rejoin) per
+        # device.  These are what churn-aware replication targets
+        # consume — *measured* behaviour, not the configured means.
+        self._online_since: Dict[str, float] = {}
+        self._offline_since: Dict[str, float] = {}
+        self._session_lengths: Dict[str, List[float]] = {}
+        self._downtime_lengths: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -126,6 +134,7 @@ class ChurnProcess:
             raise RuntimeError("churn process already started")
         self._started = True
         for device in sorted(self.swarm.devices()):
+            self._online_since[device] = self.sim.now
             self.sim.process(self._device_loop(device))
 
     def _device_loop(self, device: str):
@@ -162,6 +171,12 @@ class ChurnProcess:
         region = self.swarm.region_of(device)
         self.swarm.remove_device(device, engine=self.engine)
         self._offline[device] = (cache, region)
+        online_since = self._online_since.pop(device, None)
+        if online_since is not None:
+            self._session_lengths.setdefault(device, []).append(
+                self.sim.now - online_since
+            )
+        self._offline_since[device] = self.sim.now
         self.departures += 1
         self.events.append(ChurnEvent(self.sim.now, "depart", device))
 
@@ -171,6 +186,12 @@ class ChurnProcess:
         # set from the swarm's perspective (gossip bumps the device's
         # incarnation so its fresh announcements outrank old rumours).
         self.swarm.add_device(device, cache, region=region)
+        offline_since = self._offline_since.pop(device, None)
+        if offline_since is not None:
+            self._downtime_lengths.setdefault(device, []).append(
+                self.sim.now - offline_since
+            )
+        self._online_since[device] = self.sim.now
         self.rejoins += 1
         self.events.append(ChurnEvent(self.sim.now, "rejoin", device))
 
@@ -182,3 +203,50 @@ class ChurnProcess:
 
     def offline_devices(self) -> List[str]:
         return sorted(self._offline)
+
+    # ------------------------------------------------------------------
+    # observed session statistics (consumed by churn-aware replication)
+    # ------------------------------------------------------------------
+    def session_lengths(self, device: str) -> List[float]:
+        """Completed online-session lengths observed for ``device``."""
+        return list(self._session_lengths.get(device, ()))
+
+    def mean_session_s(self, device: str) -> Optional[float]:
+        """Mean *completed* online session (None before any departure).
+
+        The current, still-open session deliberately does not count —
+        it would bias short-session devices upward right after a
+        re-join.
+        """
+        lengths = self._session_lengths.get(device)
+        if not lengths:
+            return None
+        return sum(lengths) / len(lengths)
+
+    def mean_downtime_s(self, device: str) -> Optional[float]:
+        lengths = self._downtime_lengths.get(device)
+        if not lengths:
+            return None
+        return sum(lengths) / len(lengths)
+
+    def availability(self, device: str) -> float:
+        """Observed long-run online fraction of ``device`` in (0, 1].
+
+        ``mean_session / (mean_session + mean_downtime)`` over the
+        sessions actually observed.  A device that never departed (or
+        has not yet completed a session) counts as fully available —
+        churn weighting only discounts *demonstrated* flakiness, so a
+        churn-free run is bit-for-bit unaffected.  A device with
+        completed sessions but no completed downtime yet uses the
+        configured mean downtime as the best available estimate.
+        """
+        session = self.mean_session_s(device)
+        if session is None:
+            return 1.0
+        downtime = self.mean_downtime_s(device)
+        if downtime is None:
+            downtime = self.config.mean_downtime_s
+        total = session + downtime
+        if total <= 0:
+            return 1.0
+        return max(min(session / total, 1.0), 1e-6)

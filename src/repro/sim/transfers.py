@@ -27,7 +27,7 @@ import enum
 import itertools
 from typing import Dict, List, Optional, Tuple
 
-from ..model.units import bytes_to_mb, MBIT_PER_MB, transfer_time_s
+from ..model.units import BYTES_PER_MB, bytes_to_mb, MBIT_PER_MB, transfer_time_s
 from .engine import Simulator
 from .events import Event
 
@@ -156,6 +156,19 @@ class Transfer:
         if self.completed_s is None:
             return None
         return self.completed_s - self.requested_s
+
+    @property
+    def moved_bytes(self) -> int:
+        """Payload bytes already delivered (settled progress).
+
+        Exact for finished/cancelled transfers — the engine settles
+        progress before failing a cancelled transfer's event — so this
+        is what waste accounting reads when a mid-flight fallback
+        abandons a transfer's delivered bytes.
+        """
+        done_mb = bytes_to_mb(self.size_bytes) - self.remaining_mb
+        moved = int(round(done_mb * BYTES_PER_MB))
+        return max(0, min(self.size_bytes, moved))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (

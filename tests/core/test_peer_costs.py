@@ -141,3 +141,114 @@ class TestCacheAffinityScheduler:
             CacheAffinityScheduler(local_weight=1.5)
         with pytest.raises(ValueError):
             CacheAffinityScheduler(peer_weight=-0.1)
+
+
+class TestMultiSourceDeployTerm:
+    def three_device_env(self, bw_a=100.0, bw_b=100.0, registry_bw=80.0):
+        import dataclasses
+
+        from repro.devices.specs import MEDIUM_SPEC
+        from repro.model.device import Device
+
+        holder_a = Device(
+            spec=dataclasses.replace(MEDIUM_SPEC, name="holder-a"),
+            power=MEDIUM_POWER,
+        )
+        holder_b = Device(
+            spec=dataclasses.replace(MEDIUM_SPEC, name="holder-b"),
+            power=MEDIUM_POWER,
+        )
+        target = small_device()
+        fleet = DeviceFleet.of(holder_a, holder_b, target)
+        network = NetworkModel()
+        network.connect_devices("holder-a", "small", bw_a)
+        network.connect_devices("holder-b", "small", bw_b)
+        network.connect_devices("holder-a", "holder-b", 800.0)
+        for name in ("holder-a", "holder-b", "small"):
+            network.connect_registry("hub", name, registry_bw)
+        catalog = RegistryCatalog.of(
+            RegistryInfo("hub", RegistryKind.HUB, "https://hub.docker.com")
+        )
+        return Environment(fleet=fleet, network=network, registries=catalog)
+
+    def warm_state(self, app):
+        state = SchedulerState()
+        state.commit(app.service("svc"), "hub", "holder-a", completion_s=1.0)
+        state.commit(app.service("svc"), "hub", "holder-b", completion_s=1.0)
+        return state
+
+    def test_single_source_td_is_the_fastest_holder(self):
+        env = self.three_device_env()
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True)  # chunk_sources=1
+        state = self.warm_state(app)
+        record = table.record("svc", "hub", "small", state)
+        # one 100 Mbit holder: 8000 Mbit / 100 = 80 s
+        assert record.times.deploy_s == pytest.approx(80.0)
+
+    def test_chunked_td_aggregates_the_k_best_holders(self):
+        env = self.three_device_env()
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True, chunk_sources=2)
+        state = self.warm_state(app)
+        record = table.record("svc", "hub", "small", state)
+        # two 100 Mbit holders streamed in parallel: 8000 / 200 = 40 s
+        assert record.times.deploy_s == pytest.approx(40.0)
+        # the transfer source label still names the fastest holder
+        assert table.transfer_source("svc", "hub", "small", state).startswith(
+            "peer:"
+        )
+
+    def test_k_larger_than_holder_count_uses_all_holders(self):
+        env = self.three_device_env()
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True, chunk_sources=8)
+        state = self.warm_state(app)
+        peer_s, peer = table.peer_deploy_seconds(
+            state, app.service("svc"), "small"
+        )
+        assert peer_s == pytest.approx(40.0)
+        assert peer == "holder-a"  # fastest holder, stable tie-break
+
+    def test_aggregate_never_slower_than_single_source(self):
+        env = self.three_device_env(bw_a=100.0, bw_b=10.0)
+        app = one_service_app(size_gb=1.0)
+        single = CostTable(app, env, peer_transfers=True)
+        multi = CostTable(app, env, peer_transfers=True, chunk_sources=2)
+        state = self.warm_state(app)
+        single_s, _ = single.peer_deploy_seconds(
+            state, app.service("svc"), "small"
+        )
+        multi_s, _ = multi.peer_deploy_seconds(
+            state, app.service("svc"), "small"
+        )
+        assert multi_s < single_s
+        assert multi_s == pytest.approx(8000.0 / 110.0)
+
+    def test_chunk_sources_validation(self):
+        env = self.three_device_env()
+        app = one_service_app()
+        with pytest.raises(ValueError):
+            CostTable(app, env, chunk_sources=0)
+        with pytest.raises(ValueError):
+            CacheAffinityScheduler(chunk_sources=0)
+
+    def test_cache_affinity_scheduler_threads_chunk_sources(self):
+        env = self.three_device_env()
+        app = one_service_app(size_gb=1.0)
+        scheduler = CacheAffinityScheduler(chunk_sources=4)
+        result = scheduler.schedule(app, env)
+        assert result.plan.covers(app)
+
+    def test_aggregate_rate_capped_by_the_destination_downlink(self):
+        env = self.three_device_env()
+        env.network.set_downlink("small", 100.0)
+        app = one_service_app(size_gb=1.0)
+        table = CostTable(app, env, peer_transfers=True, chunk_sources=2)
+        state = self.warm_state(app)
+        peer_s, _ = table.peer_deploy_seconds(
+            state, app.service("svc"), "small"
+        )
+        # two 100 Mbit holders sum to 200, but the NIC admits 100:
+        # 8000 Mbit / 100 = 80 s, not 40
+        assert peer_s == pytest.approx(80.0)

@@ -1,0 +1,542 @@
+"""Chunked multi-source transfers: maps, stores, swarm scheduling.
+
+Covers the chunk subsystem end to end: deterministic chunking, the
+reserve→commit-at-chunk-granularity lifecycle (partial layers hold
+capacity and seed chunk-by-chunk), rarest-first scheduling with seeded
+stable tie-breaks, per-chunk re-resolution on departure/saturation,
+the registry endgame, and the waste-accounting comparison against the
+single-source path's whole-layer restarts.
+"""
+
+import pytest
+
+from repro.model.device import Arch
+from repro.model.network import NetworkModel
+from repro.registry.base import ImageReference, RegistryError
+from repro.registry.cache import ImageCache
+from repro.registry.chunks import (
+    ChunkLedger,
+    ChunkMap,
+    ChunkStore,
+    ChunkSwarmPlanner,
+)
+from repro.registry.digest import digest_text, is_digest
+from repro.registry.hub import DockerHub
+from repro.registry.images import OFFICIAL_BASES, build_image
+from repro.registry.p2p import P2PRegistry, PeerIndex, PeerSwarm, SourceKind
+from repro.sim.engine import Simulator
+from repro.sim.transfers import TransferEngine
+
+LAYER = digest_text("layer-under-test")
+MB = 1_000_000
+
+
+# ----------------------------------------------------------------------
+# ChunkMap
+# ----------------------------------------------------------------------
+class TestChunkMap:
+    def test_chunks_tile_the_layer_exactly(self):
+        cmap = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        assert cmap.n_chunks == 4
+        assert [c.size_bytes for c in cmap] == [32 * MB, 32 * MB, 32 * MB, 4 * MB]
+        offset = 0
+        for chunk in cmap:
+            assert chunk.offset == offset
+            offset = chunk.end
+        assert offset == 100 * MB
+
+    def test_exact_multiple_has_no_remainder_chunk(self):
+        cmap = ChunkMap(LAYER, 64 * MB, 32 * MB)
+        assert [c.size_bytes for c in cmap] == [32 * MB, 32 * MB]
+
+    def test_small_and_zero_layers_map_to_one_chunk(self):
+        assert ChunkMap(LAYER, 5, 32 * MB).n_chunks == 1
+        empty = ChunkMap(LAYER, 0, 32 * MB)
+        assert empty.n_chunks == 1
+        assert empty.chunk(0).size_bytes == 0
+
+    def test_chunk_digests_are_valid_unique_and_deterministic(self):
+        cmap = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        digests = [c.digest for c in cmap]
+        assert all(is_digest(d) for d in digests)
+        assert len(set(digests)) == cmap.n_chunks
+        again = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        assert [c.digest for c in again] == digests
+        other_layer = ChunkMap(digest_text("other"), 100 * MB, 32 * MB)
+        assert set(c.digest for c in other_layer).isdisjoint(digests)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkMap(LAYER, -1, 32 * MB)
+        with pytest.raises(ValueError):
+            ChunkMap(LAYER, 100, 0)
+
+
+# ----------------------------------------------------------------------
+# ChunkStore / ChunkLedger lifecycle
+# ----------------------------------------------------------------------
+def make_store(capacity_gb: float = 1.0, device: str = "dev-a"):
+    ledger = ChunkLedger()
+    cache = ImageCache(capacity_gb, device)
+    index = PeerIndex()
+    index.register_cache(device, cache)
+    return ChunkStore(device, cache, ledger), cache, ledger, index
+
+
+class TestChunkStoreLifecycle:
+    def test_begin_reserves_without_publishing(self):
+        store, cache, ledger, index = make_store()
+        cmap = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        store.begin_layer(cmap)
+        assert cache.is_reserved(LAYER)
+        assert LAYER not in cache
+        assert cache.reserved_bytes == 100 * MB
+        assert not index.holds("dev-a", LAYER)
+        assert ledger.chunk_holders(LAYER, 0) == frozenset()
+
+    def test_committed_chunks_become_seedable_before_the_layer_lands(self):
+        store, cache, ledger, index = make_store()
+        cmap = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        store.begin_layer(cmap)
+        store.commit_chunk(LAYER, 2)
+        store.commit_chunk(LAYER, 0)
+        # Partial chunks are in the ledger (seedable) but the layer is
+        # still invisible to the peer index — reserve→commit intact.
+        assert ledger.chunk_holders(LAYER, 2) == frozenset({"dev-a"})
+        assert ledger.chunk_holders(LAYER, 0) == frozenset({"dev-a"})
+        assert ledger.chunk_holders(LAYER, 1) == frozenset()
+        assert LAYER not in cache
+        assert not index.holds("dev-a", LAYER)
+        assert store.missing_chunks(LAYER) == [1, 3]
+
+    def test_finish_commits_cache_and_clears_partial_state(self):
+        store, cache, ledger, index = make_store()
+        cmap = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        store.begin_layer(cmap)
+        for i in range(cmap.n_chunks):
+            store.commit_chunk(LAYER, i)
+        assert store.finish_layer(LAYER) is True
+        assert LAYER in cache
+        assert cache.used_bytes == 100 * MB
+        assert cache.reserved_bytes == 0
+        assert index.holds("dev-a", LAYER)
+        # the ledger stops advertising partials the instant the full
+        # replica becomes visible
+        assert ledger.chunk_holders(LAYER, 0) == frozenset()
+        assert not store.is_partial(LAYER)
+
+    def test_finish_with_missing_chunks_raises(self):
+        store, _cache, _ledger, _index = make_store()
+        cmap = ChunkMap(LAYER, 100 * MB, 32 * MB)
+        store.begin_layer(cmap)
+        store.commit_chunk(LAYER, 0)
+        with pytest.raises(RegistryError, match="missing"):
+            store.finish_layer(LAYER)
+
+    def test_double_commit_of_a_chunk_raises(self):
+        store, _cache, _ledger, _index = make_store()
+        store.begin_layer(ChunkMap(LAYER, 100 * MB, 32 * MB))
+        store.commit_chunk(LAYER, 1)
+        with pytest.raises(RegistryError, match="twice"):
+            store.commit_chunk(LAYER, 1)
+
+    def test_begin_twice_raises(self):
+        store, _cache, _ledger, _index = make_store()
+        store.begin_layer(ChunkMap(LAYER, 100 * MB, 32 * MB))
+        with pytest.raises(RegistryError, match="already in"):
+            store.begin_layer(ChunkMap(LAYER, 100 * MB, 32 * MB))
+
+    def test_abort_releases_bytes_and_ledger_entries(self):
+        store, cache, ledger, index = make_store()
+        store.begin_layer(ChunkMap(LAYER, 100 * MB, 32 * MB))
+        store.commit_chunk(LAYER, 0)
+        store.abort_layer(LAYER)
+        assert cache.reserved_bytes == 0
+        assert LAYER not in cache
+        assert ledger.chunk_holders(LAYER, 0) == frozenset()
+        # a fresh download can start over
+        store.begin_layer(ChunkMap(LAYER, 100 * MB, 32 * MB))
+        store.commit_chunk(LAYER, 0)
+
+    def test_out_of_band_insert_absorbs_the_partial_record(self):
+        store, cache, ledger, _index = make_store()
+        store.begin_layer(ChunkMap(LAYER, 100 * MB, 32 * MB))
+        store.commit_chunk(LAYER, 0)
+        # An instant add (analytic replicator copy) lands the layer and
+        # absorbs the reservation; the partial record must evaporate.
+        cache.add(LAYER, 100 * MB)
+        assert not store.is_partial(LAYER)
+        assert ledger.chunk_holders(LAYER, 0) == frozenset()
+        # late chunk completions and the finish degrade to no-ops
+        assert store.commit_chunk(LAYER, 1) is False
+        assert store.finish_layer(LAYER) is False
+        assert LAYER in cache
+
+    def test_ledger_drop_device_forgets_all_partials(self):
+        ledger = ChunkLedger()
+        ledger.add_chunk("dev-a", LAYER, 0)
+        ledger.add_chunk("dev-a", LAYER, 3)
+        ledger.add_chunk("dev-b", LAYER, 0)
+        ledger.drop_device("dev-a")
+        assert ledger.chunk_holders(LAYER, 0) == frozenset({"dev-b"})
+        assert ledger.chunk_holders(LAYER, 3) == frozenset()
+        assert ledger.partial_layers("dev-a") == frozenset()
+
+
+# ----------------------------------------------------------------------
+# rarest-first ordering
+# ----------------------------------------------------------------------
+def planner_on_lan(n_devices: int = 4, seed: int = 0):
+    hub = DockerHub(name="docker-hub")
+    network = NetworkModel()
+    names = [f"edge-{i}" for i in range(n_devices)]
+    network.connect_device_mesh(names, 800.0)
+    for name in names:
+        network.connect_registry(hub.name, name, 60.0)
+    swarm = PeerSwarm(network)
+    caches = {}
+    for name in names:
+        caches[name] = ImageCache(4.0, name)
+        swarm.add_device(name, caches[name], region="lab")
+    planner = ChunkSwarmPlanner(swarm, [hub], chunk_size_bytes=10 * MB, seed=seed)
+    return planner, swarm, caches, hub
+
+
+class TestRarestFirst:
+    def test_availability_counts_full_and_partial_holders(self):
+        planner, swarm, caches, _hub = planner_on_lan()
+        cmap = ChunkMap(LAYER, 40 * MB, 10 * MB)
+        # edge-1 holds the full layer; edge-2 holds only chunk 0.
+        caches["edge-1"].add(LAYER, 40 * MB)
+        store2 = planner.store_for("edge-2", caches["edge-2"])
+        store2.begin_layer(cmap)
+        store2.commit_chunk(LAYER, 0)
+        assert planner.availability("edge-0", LAYER, 0) == 2
+        assert planner.availability("edge-0", LAYER, 1) == 1
+        # the viewer itself never counts
+        assert planner.availability("edge-2", LAYER, 0) == 1
+
+    def test_rarer_chunks_order_first(self):
+        planner, swarm, caches, _hub = planner_on_lan()
+        cmap = ChunkMap(LAYER, 40 * MB, 10 * MB)
+        caches["edge-1"].add(LAYER, 40 * MB)
+        store2 = planner.store_for("edge-2", caches["edge-2"])
+        store2.begin_layer(cmap)
+        store2.commit_chunk(LAYER, 0)
+        store2.commit_chunk(LAYER, 1)
+        order = planner.rarest_first("edge-0", cmap)
+        # chunks 2/3 have one holder, chunks 0/1 have two
+        assert set(order[:2]) == {2, 3}
+        assert set(order[2:]) == {0, 1}
+
+    def test_tiebreak_is_seeded_and_stable(self):
+        cmap = ChunkMap(LAYER, 320 * MB, 10 * MB)
+        planner_a, *_ = planner_on_lan(seed=7)
+        planner_b, *_ = planner_on_lan(seed=7)
+        planner_c, *_ = planner_on_lan(seed=8)
+        order_a = planner_a.rarest_first("edge-0", cmap)
+        order_b = planner_b.rarest_first("edge-0", cmap)
+        order_c = planner_c.rarest_first("edge-0", cmap)
+        assert order_a == order_b  # same seed → identical schedule
+        assert order_a != order_c  # different seed → different ties
+        # repeated calls are stable
+        assert planner_a.rarest_first("edge-0", cmap) == order_a
+        # and a restricted pending set preserves the relative order
+        pending = set(order_a[:10])
+        assert planner_a.rarest_first("edge-0", cmap, pending) == order_a[:10]
+
+    def test_tiebreak_disperses_across_devices(self):
+        # Equal-rarity chunks must be claimed in different orders on
+        # different devices, else a cold wave moves in lockstep and
+        # partial seeding never gets a chunk the neighbours lack.
+        cmap = ChunkMap(LAYER, 320 * MB, 10 * MB)
+        planner, *_ = planner_on_lan()
+        order_0 = planner.rarest_first("edge-0", cmap)
+        order_1 = planner.rarest_first("edge-1", cmap)
+        assert order_0 != order_1
+
+
+# ----------------------------------------------------------------------
+# chunked pulls through the facade (integration)
+# ----------------------------------------------------------------------
+def make_chunked_swarm(
+    n_devices=4,
+    hub_bw=80.0,
+    lan_bw=800.0,
+    upload_budget=None,
+    chunk_size_bytes=16 * MB,
+    chunk_parallel=4,
+    repo_size_gb=0.5,
+    endgame=True,
+):
+    hub = DockerHub(name="docker-hub")
+    mlist, blobs = build_image("acme/mono", repo_size_gb, base=None, app_layers=1)
+    hub.push_image("acme/mono", "latest", mlist, blobs)
+    mlist2, blobs2 = build_image(
+        "acme/app", repo_size_gb, base=OFFICIAL_BASES["python:3.9-slim"]
+    )
+    hub.push_image("acme/app", "latest", mlist2, blobs2)
+    network = NetworkModel()
+    names = [f"edge-{i}" for i in range(n_devices)]
+    network.connect_device_mesh(names, lan_bw)
+    for name in names:
+        network.connect_registry(hub.name, name, hub_bw)
+    sim = Simulator()
+    engine = TransferEngine(sim, network, default_upload_budget=upload_budget)
+    swarm = PeerSwarm(network)
+    caches = {}
+    for name in names:
+        caches[name] = ImageCache(12.0, name)
+        swarm.add_device(name, caches[name], region="lab")
+    facade = P2PRegistry(
+        swarm,
+        [hub],
+        chunked=True,
+        chunk_size_bytes=chunk_size_bytes,
+        chunk_parallel=chunk_parallel,
+        chunk_endgame=endgame,
+    )
+    return sim, engine, swarm, caches, facade, hub, network
+
+
+def pull_at(sim, engine, facade, caches, at_s, device, repo="acme/mono"):
+    out = {}
+
+    def proc():
+        yield sim.timeout(at_s)
+        result = yield from facade.pull_process(
+            ImageReference(repo), Arch.AMD64, device, caches[device], engine
+        )
+        out["result"] = result
+        out["end"] = sim.now
+
+    sim.process(proc())
+    return out
+
+
+class TestChunkedPull:
+    def test_cold_pull_lands_exact_bytes_and_stays_coherent(self):
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm()
+        out = pull_at(sim, engine, facade, caches, 0.0, "edge-0")
+        sim.run()
+        result = out["result"]
+        manifest = result.manifest
+        assert caches["edge-0"].has_image(manifest)
+        assert caches["edge-0"].used_bytes == manifest.total_layer_bytes
+        assert caches["edge-0"].reserved_bytes == 0
+        assert result.bytes_transferred == manifest.total_layer_bytes
+        # per-source plan entries sum exactly to the layer bytes
+        assert result.plan.bytes_total == manifest.total_layer_bytes
+        assert swarm.index.coherence_violations() == []
+        # nothing partial lingers
+        assert facade.chunks.ledger.tracked_layers() == []
+
+    def test_partial_seeding_serves_chunks_before_the_layer_commits(self):
+        # acme/mono is a single layer, so the leader commits nothing
+        # until its pull completes — any peer bytes the follower gets
+        # can only come from the leader's *partial* chunk store.
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm()
+        lead = pull_at(sim, engine, facade, caches, 0.0, "edge-0")
+        follow = pull_at(sim, engine, facade, caches, 5.0, "edge-1")
+        sim.run()
+        assert follow["result"].bytes_from_peers > 0
+        # the follower overlapped the leader (started before it ended)
+        assert follow["end"] >= 5.0 and lead["end"] > 5.0
+        assert caches["edge-1"].has_image(follow["result"].manifest)
+
+    def test_single_source_follower_gets_no_peer_bytes_in_same_overlap(self):
+        # The control for the partial-seeding test: same topology and
+        # timing, single-source planner — the follower resolves while
+        # nothing is committed and must go to the registry.
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm()
+        single = P2PRegistry(swarm, [hub])  # chunked=False default
+        lead = pull_at(sim, engine, single, caches, 0.0, "edge-0")
+        follow = pull_at(sim, engine, single, caches, 5.0, "edge-1")
+        sim.run()
+        assert follow["result"].bytes_from_peers == 0
+
+    def test_chunked_beats_single_source_on_a_contended_cold_wave(self):
+        def wave(chunked):
+            sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm(
+                n_devices=6, upload_budget=2
+            )
+            registry = (
+                facade if chunked else P2PRegistry(swarm, [hub])
+            )
+            outs = [
+                pull_at(sim, engine, registry, caches, float(i), f"edge-{i}")
+                for i in range(6)
+            ]
+            sim.run()
+            return max(o["end"] for o in outs), sum(
+                o["result"].bytes_from_peers for o in outs
+            )
+
+        single_makespan, single_peer = wave(chunked=False)
+        chunked_makespan, chunked_peer = wave(chunked=True)
+        assert chunked_makespan < single_makespan
+        assert chunked_peer > single_peer
+
+    def test_multi_source_spread_respects_upload_budgets(self):
+        # Two full holders with budget 1 each: a chunked pull must
+        # spread chunks across both (and may top up from the hub), but
+        # can never hold two concurrent uploads from one seeder.
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm(
+            upload_budget=1
+        )
+        warm = pull_at(sim, engine, facade, caches, 0.0, "edge-1")
+        warm2 = pull_at(sim, engine, facade, caches, 40.0, "edge-2")
+        cold = pull_at(sim, engine, facade, caches, 80.0, "edge-0")
+        sim.run()
+        result = cold["result"]
+        peer_sources = {
+            layer.source
+            for layer in result.plan.layers
+            if layer.kind is SourceKind.PEER
+        }
+        assert len(peer_sources) >= 2  # chunks drawn from both holders
+
+    def test_seeder_departure_loses_one_chunk_not_the_layer(self):
+        # edge-1 seeds the whole (single-layer) image to edge-0, then
+        # departs mid-transfer.  The chunked pull re-resolves the
+        # in-flight chunk and keeps every chunk already landed.
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm(
+            hub_bw=80.0, lan_bw=100.0, chunk_parallel=1, endgame=False
+        )
+        warm = pull_at(sim, engine, facade, caches, 0.0, "edge-1")
+        cold = pull_at(sim, engine, facade, caches, 100.0, "edge-0")
+
+        def departure():
+            yield sim.timeout(130.0)  # mid-way through edge-0's pull
+            swarm.remove_device("edge-1", engine=engine)
+
+        sim.process(departure())
+        sim.run()
+        result = cold["result"]
+        manifest = result.manifest
+        assert caches["edge-0"].has_image(manifest)
+        # waste is bounded by one chunk (the one in flight at departure)
+        assert 0 < result.bytes_wasted <= 16 * MB
+        # and the pull mixed peer chunks (before departure) with
+        # registry chunks (after)
+        kinds = {layer.kind for layer in result.plan.layers}
+        assert kinds == {SourceKind.PEER, SourceKind.REGISTRY}
+
+    def test_single_source_departure_wastes_more_than_chunked(self):
+        # The satellite assertion: same departure scenario, whole-layer
+        # restart vs chunk re-resolution — chunking must reduce
+        # bytes_wasted.
+        def run(chunked):
+            sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm(
+                hub_bw=80.0, lan_bw=100.0, chunk_parallel=1, endgame=False
+            )
+            registry = facade if chunked else P2PRegistry(swarm, [hub])
+            pull_at(sim, engine, registry, caches, 0.0, "edge-1")
+            cold = pull_at(sim, engine, registry, caches, 100.0, "edge-0")
+
+            def departure():
+                yield sim.timeout(130.0)
+                swarm.remove_device("edge-1", engine=engine)
+
+            sim.process(departure())
+            sim.run()
+            return cold["result"]
+
+        single = run(chunked=False)
+        chunked = run(chunked=True)
+        assert single.bytes_wasted > 0
+        assert chunked.bytes_wasted > 0
+        assert chunked.bytes_wasted < single.bytes_wasted
+
+    def test_endgame_duplicates_a_straggler_from_the_registry(self):
+        # One slow seeder (capped uplink) vs a fast hub: the last
+        # chunks straggle on the peer path and the endgame re-requests
+        # them from the registry, metering the duplicates.
+        sim, engine, swarm, caches, facade, hub, network = make_chunked_swarm(
+            hub_bw=80.0, lan_bw=100.0, chunk_parallel=2
+        )
+        network.set_uplink("edge-1", 10.0)  # the seeder crawls
+        warm = pull_at(sim, engine, facade, caches, 0.0, "edge-1")
+        cold = pull_at(sim, engine, facade, caches, 100.0, "edge-0")
+        sim.run()
+        result = cold["result"]
+        assert result.chunk_endgame_dupes > 0
+        assert result.bytes_wasted > 0  # the losing copy is metered
+        assert caches["edge-0"].has_image(result.manifest)
+
+    def test_concurrent_same_image_pulls_join_one_chunked_fetch(self):
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm()
+        first = pull_at(sim, engine, facade, caches, 0.0, "edge-0")
+        second = pull_at(sim, engine, facade, caches, 1.0, "edge-0")
+        sim.run()
+        n_chunks = len(
+            ChunkMap(
+                first["result"].manifest.layers[0].digest,
+                first["result"].manifest.layers[0].size_bytes,
+                16 * MB,
+            )
+        )
+        # the joiner waited for the in-flight fetch instead of
+        # re-fetching: exactly one chunk set moved for the layer
+        assert facade.chunks.chunk_transfers == n_chunks
+        assert second["result"].bytes_transferred == 0  # all LOCAL
+        assert second["end"] == pytest.approx(first["end"])
+
+    def test_chunked_facade_requires_engine_path(self):
+        # the analytic pull() is untouched by chunking: it still works
+        # and reports no waste/dupes
+        sim, engine, swarm, caches, facade, hub, _net = make_chunked_swarm()
+        result = facade.pull(
+            ImageReference("acme/mono"), Arch.AMD64, "edge-0", caches["edge-0"]
+        )
+        assert result.bytes_wasted == 0
+        assert result.chunk_endgame_dupes == 0
+        assert caches["edge-0"].has_image(result.manifest)
+
+
+class TestEndgameMeteringFailure:
+    def test_speculative_duplicate_never_sinks_the_pull(self):
+        # Same slow-seeder topology as the endgame test, but registry
+        # metering always fails (hub rate limit exhausted).  Every
+        # required chunk resolves from the peer, so the only metering
+        # calls are for speculative endgame duplicates — which must be
+        # abandoned, not allowed to abort a pull the peer path is
+        # already completing.
+        sim, engine, swarm, caches, facade, hub, network = make_chunked_swarm(
+            hub_bw=80.0, lan_bw=100.0, chunk_parallel=2
+        )
+        network.set_uplink("edge-1", 10.0)  # the seeder crawls
+        pull_at(sim, engine, facade, caches, 0.0, "edge-1")
+
+        meter_calls = []
+
+        def exhausted(registry_name):
+            meter_calls.append(registry_name)
+            raise RegistryError("toomanyrequests: pull rate limit exceeded")
+
+        out = {}
+
+        def proc():
+            yield sim.timeout(100.0)
+            layer = hub.resolve(
+                ImageReference("acme/mono"), Arch.AMD64
+            ).layers[0]
+            outcome = yield from facade.chunks.fetch_layer(
+                "edge-0",
+                caches["edge-0"],
+                layer.digest,
+                layer.size_bytes,
+                engine,
+                meter_registry=exhausted,
+            )
+            out["outcome"] = outcome
+
+        sim.process(proc())
+        sim.run()
+        outcome = out["outcome"]
+        # the endgame tried the registry, hit the limit, gave up the
+        # duplicate — and the layer still assembled entirely from peers
+        assert meter_calls
+        assert outcome.endgame_dupes == 0
+        assert all(kind == "peer" for kind, _ in outcome.bytes_by_source)
+        assert sum(outcome.bytes_by_source.values()) == 500_000_000

@@ -449,3 +449,69 @@ class TestAdaptiveReplicator:
                 [(a.digest, a.region, a.target) for c in replicator.history for a in c.actions]
             )
         assert outcomes[0] == outcomes[1]
+
+
+class _FlakyChurn:
+    """Duck-typed churn stub: fixed observed availability per device."""
+
+    def __init__(self, availability):
+        self._availability = availability
+
+    def availability(self, device):
+        return self._availability.get(device, 1.0)
+
+
+class TestChurnAwareReplication:
+    def build(self, churn=None):
+        network = NetworkModel()
+        names = [("r0-d0", "r0"), ("r0-d1", "r0"), ("r1-d0", "r1"), ("r1-d1", "r1")]
+        all_names = [n for n, _ in names]
+        for i, a in enumerate(all_names):
+            for b in all_names[i + 1:]:
+                network.connect_devices(a, b, 100.0)
+        swarm = PeerSwarm(network)
+        for name, region in names:
+            swarm.add_device(name, small_cache(1000, name), region=region)
+        sim = Simulator()
+        replicator = AdaptiveReplicator(
+            sim,
+            swarm,
+            interval_s=10.0,
+            hot_threshold=3.0,
+            target_replicas=1,
+            churn=churn,
+        )
+        return sim, swarm, replicator
+
+    def heat(self, swarm):
+        swarm.index.cache_of("r1-d0").add(D[0], 50)
+        for _ in range(3):
+            swarm.record_demand(D[0], "r1-d1")
+
+    def test_face_value_counting_without_churn(self):
+        # r1 already holds one replica and target is 1: the historical
+        # replicator sees the region as provisioned and does nothing.
+        _sim, swarm, replicator = self.build(churn=None)
+        self.heat(swarm)
+        cycle = replicator.run_cycle()
+        assert not any(a.region == "r1" for a in cycle.actions)
+
+    def test_departure_prone_holder_counts_less_than_a_replica(self):
+        # Same state, but the sole r1 holder has demonstrated it is
+        # online only ~20% of the time: weighted count 0.2 < target 1,
+        # so the region gets a second (stable) copy.
+        churn = _FlakyChurn({"r1-d0": 0.2})
+        _sim, swarm, replicator = self.build(churn=churn)
+        self.heat(swarm)
+        cycle = replicator.run_cycle()
+        r1_actions = [a for a in cycle.actions if a.region == "r1"]
+        assert len(r1_actions) == 1
+        assert r1_actions[0].target == "r1-d1"
+        assert swarm.index.holds("r1-d1", D[0])
+
+    def test_stable_holders_keep_face_value(self):
+        churn = _FlakyChurn({})  # nobody observed flaky
+        _sim, swarm, replicator = self.build(churn=churn)
+        self.heat(swarm)
+        cycle = replicator.run_cycle()
+        assert not any(a.region == "r1" for a in cycle.actions)

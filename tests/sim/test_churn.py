@@ -118,3 +118,44 @@ class TestChurnProcess:
         churn.start()
         with pytest.raises(RuntimeError):
             churn.start()
+
+
+class TestSessionStatistics:
+    def test_session_lengths_match_the_event_log(self):
+        sim, _swarm, _caches, churn = build(seed=11)
+        churn.start()
+        sim.run(until=3000.0)
+        assert churn.departures > 0
+        for device in {e.device for e in churn.events}:
+            events = [e for e in churn.events if e.device == device]
+            # reconstruct completed online sessions from the log
+            expected = []
+            online_since = 0.0
+            for event in events:
+                if event.kind == "depart":
+                    expected.append(event.time_s - online_since)
+                else:
+                    online_since = event.time_s
+            assert churn.session_lengths(device) == pytest.approx(expected)
+
+    def test_availability_defaults_to_one_without_observations(self):
+        _sim, _swarm, _caches, churn = build()
+        assert churn.availability("d0") == 1.0
+        assert churn.mean_session_s("d0") is None
+
+    def test_availability_reflects_observed_uptime_fraction(self):
+        config = ChurnConfig(mean_uptime_s=100.0, mean_downtime_s=100.0)
+        sim, _swarm, _caches, churn = build(seed=3, config=config)
+        churn.start()
+        sim.run(until=20_000.0)
+        cycled = [
+            d for d in (f"d{i}" for i in range(6))
+            if churn.mean_session_s(d) is not None
+            and churn.mean_downtime_s(d) is not None
+        ]
+        assert cycled
+        for device in cycled:
+            up = churn.mean_session_s(device)
+            down = churn.mean_downtime_s(device)
+            assert churn.availability(device) == pytest.approx(up / (up + down))
+            assert 0.0 < churn.availability(device) < 1.0

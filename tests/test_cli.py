@@ -46,6 +46,17 @@ class TestCli:
         assert "omniscient" in out and "gossip" in out
         assert "overstates" in out
 
+    def test_p2p_chunked_accepts_seed(self, capsys):
+        assert main(["p2p-chunked", "--seed", "7"]) == 0
+        seeded = capsys.readouterr().out
+        assert "Chunked multi-source" in seeded
+        assert "single-source" in seeded and "chunked" in seeded
+        assert "wave makespan" in seeded
+        assert main(["p2p-chunked"]) == 0
+        default = capsys.readouterr().out
+        # A different seed is a different workload/churn realisation.
+        assert seeded != default
+
     def test_non_integer_seed_rejected(self):
         with pytest.raises(SystemExit):
             main(["p2p", "--seed", "lots"])
