@@ -31,12 +31,9 @@ for _p in (str(_HERE.parent / "src"), str(_HERE)):
     if _p not in sys.path:
         sys.path.insert(0, _p)
 
-from bench_p2p import _scenario_params  # noqa: E402 - shared scaling rule
-from repro.experiments.p2p import (  # noqa: E402
-    build_contended_scenario,
-    build_scenario,
-    run_mode,
-)
+from dataclasses import replace  # noqa: E402
+
+from bench_p2p import _scenario_spec  # noqa: E402 - shared scaling rule
 from repro.model.network import NetworkModel  # noqa: E402
 from repro.model.units import BYTES_PER_GB  # noqa: E402
 from repro.registry.cache import ImageCache  # noqa: E402
@@ -48,6 +45,13 @@ from repro.registry.chunks import (  # noqa: E402
 from repro.registry.digest import digest_text  # noqa: E402
 from repro.registry.hub import DockerHub  # noqa: E402
 from repro.registry.p2p import PeerSwarm  # noqa: E402
+from repro import scenarios  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    ChunkSpec,
+    SimulationSession,
+    TransferSpec,
+    build_swarm_scenario,
+)
 from repro.sim.transfers import TransferModel  # noqa: E402
 
 MB = 1_000_000
@@ -61,22 +65,21 @@ CHUNK_SIZES = (8 * MB, 32 * MB, 128 * MB)
 
 def _sweep_cell(n_devices: int, chunk_size_bytes: int) -> dict:
     """One grid cell: single-source vs chunked on the same scenario."""
-    scenario = build_scenario(**_scenario_params(n_devices))
-    single = run_mode(
-        scenario,
-        "hybrid+p2p",
-        transfer_model=TransferModel.TIME_RESOLVED,
-        upload_budget=4,
+    base = _scenario_spec(
+        n_devices,
+        transfer=TransferSpec(
+            model=TransferModel.TIME_RESOLVED, upload_budget=4
+        ),
     )
+    scenario = build_swarm_scenario(base)
+    single = SimulationSession(base, scenario=scenario).run()
     started = time.perf_counter()
-    chunked = run_mode(
-        scenario,
-        "hybrid+p2p",
-        transfer_model=TransferModel.TIME_RESOLVED,
-        upload_budget=4,
-        chunked=True,
-        chunk_size_bytes=chunk_size_bytes,
-    )
+    chunked = SimulationSession(
+        replace(base, chunks=ChunkSpec(
+            enabled=True, size_bytes=chunk_size_bytes
+        )),
+        scenario=scenario,
+    ).run()
     chunked_wall_s = time.perf_counter() - started
     return dict(
         devices=n_devices,
@@ -101,18 +104,22 @@ def run_grid(sizes=SWEEP_SIZES, chunk_sizes=CHUNK_SIZES) -> list:
 
 
 def run_makespan(n_devices: int = 8, chunk_size_bytes: int = 16 * MB) -> dict:
-    """Contended cold wave: the makespan headline."""
+    """Contended cold wave: the makespan headline.
+
+    The scenario is the ``p2p-contended`` preset (time-resolved engine,
+    upload budget 2, NIC/egress shaping) resized to ``n_devices``.
+    """
+    preset = scenarios.get("p2p-contended")
     out = {}
     for chunked in (False, True):
-        scenario = build_contended_scenario(n_devices=n_devices, n_regions=2)
-        out[chunked] = run_mode(
-            scenario,
-            "hybrid+p2p",
-            transfer_model=TransferModel.TIME_RESOLVED,
-            upload_budget=2,
-            chunked=chunked,
-            chunk_size_bytes=chunk_size_bytes,
+        spec = replace(
+            preset,
+            topology=replace(preset.topology, n_devices=n_devices),
+            chunks=ChunkSpec(
+                enabled=chunked, size_bytes=chunk_size_bytes
+            ),
         )
+        out[chunked] = SimulationSession(spec).run()
     single, chunked_run = out[False], out[True]
     return dict(
         devices=n_devices,

@@ -33,59 +33,65 @@ for _p in (str(_HERE.parent / "src"), str(_HERE)):
     if _p not in sys.path:
         sys.path.insert(0, _p)
 
-from bench_p2p import _scenario_params  # noqa: E402 - shared scaling rule
-from repro.experiments.p2p import build_scenario, run_mode  # noqa: E402
+from dataclasses import replace  # noqa: E402
+
+from bench_p2p import _scenario_spec  # noqa: E402 - shared scaling rule
 from repro.model.units import BYTES_PER_GB  # noqa: E402
 from repro.registry.cache import ImageCache  # noqa: E402
 from repro.registry.digest import digest_text  # noqa: E402
 from repro.registry.discovery import GossipDiscovery  # noqa: E402
 from repro.registry.p2p import PeerSwarm  # noqa: E402
 from repro.model.network import NetworkModel  # noqa: E402
-from repro.sim.churn import ChurnConfig  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    ChurnSpec,
+    DiscoverySpec,
+    SimulationSession,
+    build_swarm_scenario,
+)
 
-#: Churn regimes swept (label, config).  min_online is scaled down for
+#: Churn regimes swept (label, spec).  min_online is scaled down for
 #: --quick swarms in ``_churn_for``.
 CHURN_RATES = (
     ("none", None),
-    ("moderate", ChurnConfig(mean_uptime_s=1500.0, mean_downtime_s=300.0,
-                             min_online=8)),
-    ("heavy", ChurnConfig(mean_uptime_s=500.0, mean_downtime_s=300.0,
-                          min_online=8)),
+    ("moderate", ChurnSpec(mean_uptime_s=1500.0, mean_downtime_s=300.0,
+                           min_online=8)),
+    ("heavy", ChurnSpec(mean_uptime_s=500.0, mean_downtime_s=300.0,
+                        min_online=8)),
 )
 
 FANOUTS = (1, 2, 4)
 PERIODS_S = (30.0, 120.0, 480.0)
 
 
-def _churn_for(config, n_devices: int):
-    if config is None:
+def _churn_for(spec, n_devices: int):
+    if spec is None:
         return None
-    return ChurnConfig(
-        mean_uptime_s=config.mean_uptime_s,
-        mean_downtime_s=config.mean_downtime_s,
-        min_online=min(config.min_online, max(2, n_devices // 3)),
+    return replace(
+        spec, min_online=min(spec.min_online, max(2, n_devices // 3))
     )
 
 
 def _compare(n_devices: int, churn, fanout: int, period_s: float) -> dict:
     """One cell: hybrid baseline vs p2p under both discovery backends."""
-    scenario = build_scenario(**_scenario_params(n_devices))
-    churn_cfg = _churn_for(churn, n_devices)
-    hybrid = run_mode(scenario, "hybrid", churn=churn_cfg)
-    omni = run_mode(scenario, "hybrid+p2p", churn=churn_cfg)
+    base = _scenario_spec(n_devices, churn=_churn_for(churn, n_devices))
+    scenario = build_swarm_scenario(base)
+    hybrid = SimulationSession(
+        replace(base, mode="hybrid"), scenario=scenario
+    ).run()
+    omni = SimulationSession(base, scenario=scenario).run()
     started = time.perf_counter()
-    gossip = run_mode(
-        scenario,
-        "hybrid+p2p",
-        discovery="gossip",
-        gossip_fanout=fanout,
-        gossip_period_s=period_s,
-        churn=churn_cfg,
-    )
+    gossip = SimulationSession(
+        replace(base, discovery=DiscoverySpec(
+            backend="gossip",
+            gossip_fanout=fanout,
+            gossip_period_s=period_s,
+        )),
+        scenario=scenario,
+    ).run()
     gossip_wall_s = time.perf_counter() - started
     origin = hybrid.origin_bytes
     return dict(
-        churned=churn_cfg is not None,
+        churned=base.churn is not None,
         devices=n_devices,
         fanout=fanout,
         period_s=period_s,

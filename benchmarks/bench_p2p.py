@@ -24,28 +24,45 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.p2p import (  # noqa: E402
-    MODES,
-    build_scenario,
-    run_mode,
-)
+from dataclasses import replace  # noqa: E402
+
 from repro.model.device import Arch  # noqa: E402
 from repro.model.units import BYTES_PER_GB  # noqa: E402
 from repro.registry.cache import ImageCache  # noqa: E402
 from repro.registry.p2p import P2PRegistry, PeerSwarm  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    ScenarioSpec,
+    SimulationSession,
+    TopologySpec,
+    TransferSpec,
+    WorkloadSpec,
+    build_swarm_scenario,
+)
 from repro.sim.transfers import TransferModel  # noqa: E402
 
 #: The sweep the acceptance criteria name.
 SWEEP_SIZES = (10, 100, 1000)
 
 
-def _scenario_params(n_devices: int) -> dict:
-    """Scale regions/catalogue with the swarm size."""
-    return dict(
-        n_devices=n_devices,
-        n_images=min(12, 4 + n_devices // 10),
-        pulls_per_device=4,
-        n_regions=max(2, min(8, n_devices // 12)),
+def _scenario_spec(
+    n_devices: int,
+    transfer_model: TransferModel = TransferModel.ANALYTIC,
+    **kwargs,
+) -> ScenarioSpec:
+    """The sweep's base spec: regions/catalogue scale with swarm size."""
+    kwargs.setdefault("transfer", TransferSpec(model=transfer_model))
+    return ScenarioSpec(
+        mode="hybrid+p2p",
+        topology=TopologySpec(
+            n_devices=n_devices,
+            n_regions=max(2, min(8, n_devices // 12)),
+        ),
+        workload=WorkloadSpec(
+            kind="zipf",
+            n_images=min(12, 4 + n_devices // 10),
+            pulls_per_device=4,
+        ),
+        **kwargs,
     )
 
 
@@ -55,9 +72,13 @@ def run_sweep(
     """hybrid vs hybrid+p2p origin traffic across swarm sizes."""
     rows = []
     for n in sizes:
-        scenario = build_scenario(**_scenario_params(n))
-        hybrid = run_mode(scenario, "hybrid", transfer_model=transfer_model)
-        p2p = run_mode(scenario, "hybrid+p2p", transfer_model=transfer_model)
+        base = _scenario_spec(n, transfer_model)
+        # One scenario shared by both sessions: byte counts comparable.
+        scenario = build_swarm_scenario(base)
+        hybrid = SimulationSession(
+            replace(base, mode="hybrid"), scenario=scenario
+        ).run()
+        p2p = SimulationSession(base, scenario=scenario).run()
         replicator = p2p.replicator
         rows.append(
             dict(
@@ -95,7 +116,10 @@ def check_sweep(rows) -> None:
 # pytest-benchmark micro-benchmarks (hot paths of the new tier)
 # ----------------------------------------------------------------------
 def _small_swarm():
-    scenario = build_scenario(n_devices=10, n_images=4, n_regions=2)
+    scenario = build_swarm_scenario(ScenarioSpec(
+        topology=TopologySpec(n_devices=10, n_regions=2),
+        workload=WorkloadSpec(kind="zipf", n_images=4),
+    ))
     swarm = PeerSwarm(scenario.network)
     caches = {}
     for dev in scenario.devices:

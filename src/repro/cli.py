@@ -14,46 +14,213 @@ Usage::
     python -m repro.cli all         # everything above
     python -m repro.cli calibration # dump the fitted constants
 
+    python -m repro.cli scenario --list          # named scenario presets
+    python -m repro.cli scenario p2p-gossip \\
+        --set transfer.model=time-resolved \\
+        --set churn.mean_uptime_s=600             # one overridden session
+
 The swarm experiments accept ``--seed`` to rerun under a different
-random workload/churn realisation.
+random workload/churn realisation, and every experiment (plus the
+``scenario`` subcommand) accepts ``--json`` to print machine-readable
+structured results instead of text tables.
+
+The swarm experiment list (``p2p`` …) is derived from the scenario
+preset registry (:mod:`repro.scenarios`), so a newly registered
+experiment automatically appears in the choices *and* in ``all`` —
+it cannot be silently forgotten.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List
 
+from . import scenarios
 from .experiments import ablations, cloud, figure3a, figure3b, p2p, table2, table3
 from .experiments.runner import ExperimentResult
 from .sim.rng import DEFAULT_SEED
 from .workloads.calibration import calibrate
 from .workloads.testbed import build_testbed
 
+# p2p is imported for its side effect as well: importing it attaches
+# the swarm experiment runners to the scenarios registry.
+assert p2p is not None
+
+#: The deterministic paper artefacts (seed-independent).
+PAPER_TARGETS = ("table2", "table3", "fig3a", "fig3b", "ablations", "cloud")
+
+
+def all_targets() -> List[str]:
+    """Every experiment ``all`` runs: paper artefacts + every swarm
+    experiment attached to the scenario preset registry."""
+    return list(PAPER_TARGETS) + list(scenarios.experiment_names())
+
+
+def _calibration_dict() -> dict:
+    """The fitted constants as a JSON-safe structure (--json)."""
+    cal = calibrate()
+    return {
+        "power": {
+            device: {
+                "static_watts": power.static_watts,
+                "compute_watts": power.compute_watts,
+                "pull_watts": power.pull_watts,
+                "transfer_watts": power.transfer_watts,
+                "fit_rms_j": cal.fit_residual_j[device],
+            }
+            for device, power in cal.power.items()
+        },
+        "network": {
+            "hub_bw_mbps": dict(cal.config.hub_bw_mbps),
+            "hub_startup_s": cal.config.hub_startup_s,
+            "regional_bw_mbps": dict(cal.config.regional_bw_mbps),
+            "regional_startup_s": cal.config.regional_startup_s,
+        },
+        "services": {
+            name: {
+                "cpu_mi": svc.cpu_mi,
+                "input_mb": svc.input_mb,
+                "warm_fraction": svc.warm_fraction,
+            }
+            for name, svc in cal.services.items()
+        },
+    }
+
 
 def _run_calibration_dump() -> str:
-    cal = calibrate()
+    """Text rendering of :func:`_calibration_dict` — one traversal, so
+    the text and --json forms cannot drift apart."""
+    data = _calibration_dict()
     lines = ["== Calibrated constants =="]
-    for device, power in cal.power.items():
+    for device, power in data["power"].items():
         lines.append(
-            f"{device}: static={power.static_watts:.3f} W "
-            f"compute={power.compute_watts:.3f} W "
-            f"pull={power.pull_watts:.3f} W "
-            f"transfer={power.transfer_watts:.3f} W "
-            f"(fit rms {cal.fit_residual_j[device]:.1f} J)"
+            f"{device}: static={power['static_watts']:.3f} W "
+            f"compute={power['compute_watts']:.3f} W "
+            f"pull={power['pull_watts']:.3f} W "
+            f"transfer={power['transfer_watts']:.3f} W "
+            f"(fit rms {power['fit_rms_j']:.1f} J)"
         )
+    net = data["network"]
     lines.append(
-        f"hub bw: {dict(cal.config.hub_bw_mbps)} Mbit/s, "
-        f"startup {cal.config.hub_startup_s}s; regional bw: "
-        f"{dict(cal.config.regional_bw_mbps)} Mbit/s, startup "
-        f"{cal.config.regional_startup_s}s"
+        f"hub bw: {net['hub_bw_mbps']} Mbit/s, "
+        f"startup {net['hub_startup_s']}s; regional bw: "
+        f"{net['regional_bw_mbps']} Mbit/s, startup "
+        f"{net['regional_startup_s']}s"
     )
-    for name, svc in cal.services.items():
+    for name, svc in data["services"].items():
         lines.append(
-            f"{name:16s} cpu={svc.cpu_mi:10.0f} MI  input={svc.input_mb:8.1f} MB"
-            f"  warm={svc.warm_fraction:.2f}"
+            f"{name:16s} cpu={svc['cpu_mi']:10.0f} MI  "
+            f"input={svc['input_mb']:8.1f} MB"
+            f"  warm={svc['warm_fraction']:.2f}"
         )
     return "\n".join(lines)
+
+
+def _scenario_list_text() -> str:
+    lines = ["== Scenario presets =="]
+    for preset in scenarios.entries():
+        lines.append(f"{preset.name:16s} [{preset.family}] {preset.description}")
+    lines.append(
+        "run one with: repro scenario <preset> "
+        "[--set section.field=value ...] [--json]"
+    )
+    return "\n".join(lines)
+
+
+def _outcome_text(preset: str, spec, outcome) -> str:
+    """A readable one-session summary (the text form of --json)."""
+    gb = 1e9
+    lines = [
+        f"== Scenario {preset} (mode={spec.mode}, seed={spec.seed}) ==",
+        f"pulls={outcome.pulls} cache_hits={outcome.cache_hits} "
+        f"hit_ratio={outcome.hit_ratio:.2f} "
+        f"skipped={outcome.skipped_pulls} unfinished={outcome.unfinished_pulls}",
+        f"origin_gb={outcome.origin_bytes / gb:.2f} "
+        f"peer_gb={outcome.bytes_from_peers / gb:.2f} "
+        f"replicated_gb={outcome.bytes_replicated / gb:.2f} "
+        f"wasted_mb={outcome.bytes_wasted / 1e6:.1f}",
+        f"transfer_s={outcome.transfer_s:.1f} "
+        f"makespan_s={outcome.makespan_s:.1f} "
+        f"longest_pull_s={outcome.longest_pull_s:.1f}",
+    ]
+    for registry, count in sorted(outcome.bytes_by_registry.items()):
+        lines.append(f"bytes_from.{registry} = {count}")
+    if outcome.stale_peer_misses or outcome.gossip_rounds:
+        lines.append(
+            f"gossip_rounds={outcome.gossip_rounds} "
+            f"stale_peer_misses={outcome.stale_peer_misses}"
+        )
+    if outcome.departures or outcome.rejoins:
+        lines.append(
+            f"departures={outcome.departures} rejoins={outcome.rejoins}"
+        )
+    if outcome.replicator is not None:
+        lines.append(
+            f"replicator: {outcome.replicator.total_actions()} copies "
+            f"({outcome.replicator.bytes_replicated / gb:.2f} GB), "
+            f"converged={outcome.replicator.converged()}"
+        )
+    return "\n".join(lines)
+
+
+def _run_scenario_command(args) -> int:
+    if args.list:
+        if args.preset or args.overrides:
+            print(
+                "--list does not take a preset or --set overrides",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            print(json.dumps([
+                {
+                    "name": preset.name,
+                    "family": preset.family,
+                    "description": preset.description,
+                }
+                for preset in scenarios.entries()
+            ], indent=2))
+        else:
+            print(_scenario_list_text())
+        return 0
+    if not args.preset:
+        print(
+            "scenario needs a preset name (or --list); known presets: "
+            + ", ".join(scenarios.names()),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = scenarios.get(args.preset)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    import dataclasses
+
+    spec = dataclasses.replace(spec, seed=args.seed)
+    try:
+        overrides = scenarios.parse_set_flags(tuple(args.overrides))
+        spec = scenarios.with_overrides(spec, overrides)
+    except (TypeError, ValueError) as error:
+        # TypeError: a value of the wrong JSON type reached a spec
+        # field's validation comparison (e.g. --set seed=abc).
+        print(f"bad override: {error}", file=sys.stderr)
+        return 2
+    outcome = scenarios.SimulationSession(spec).run()
+    if args.json:
+        print(json.dumps(
+            {
+                "preset": args.preset,
+                "spec": spec.to_dict(),
+                "outcome": outcome.to_dict(),
+            },
+            indent=2,
+        ))
+    else:
+        print(_outcome_text(args.preset, spec, outcome))
+    return 0
 
 
 def main(argv: List[str] = None) -> int:
@@ -63,10 +230,13 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
-                 "p2p", "p2p-contended", "p2p-gossip", "p2p-chunked", "all",
-                 "calibration"],
-        help="which artefact to regenerate",
+        choices=all_targets() + ["all", "calibration", "scenario"],
+        help="which artefact to regenerate (or 'scenario' for one preset)",
+    )
+    parser.add_argument(
+        "preset",
+        nargs="?",
+        help="preset name for the scenario subcommand (see scenario --list)",
     )
     parser.add_argument(
         "--seed",
@@ -74,14 +244,55 @@ def main(argv: List[str] = None) -> int:
         default=DEFAULT_SEED,
         help=(
             "root seed for the stochastic swarm experiments "
-            "(p2p / p2p-contended / p2p-gossip / p2p-chunked); other "
-            "artefacts are deterministic and ignore it"
+            "(p2p / p2p-contended / p2p-gossip / p2p-chunked / scenario); "
+            "other artefacts are deterministic and ignore it"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable JSON instead of text tables",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="with 'scenario': list the named presets and exit",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=[],
+        metavar="SECTION.FIELD=VALUE",
+        help=(
+            "with 'scenario': override one spec field by dotted path "
+            "(repeatable), e.g. --set transfer.model=time-resolved "
+            "--set churn.mean_uptime_s=600"
         ),
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "scenario":
+        return _run_scenario_command(args)
+    if args.preset is not None:
+        print(
+            f"a preset argument only applies to the scenario subcommand "
+            f"(got {args.preset!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.overrides or args.list:
+        print(
+            "--set/--list only apply to the scenario subcommand",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.experiment == "calibration":
-        print(_run_calibration_dump())
+        if args.json:
+            print(json.dumps(_calibration_dict(), indent=2))
+        else:
+            print(_run_calibration_dump())
         return 0
 
     testbed = build_testbed()
@@ -91,31 +302,41 @@ def main(argv: List[str] = None) -> int:
         "fig3a": lambda: figure3a.run(testbed),
         "fig3b": lambda: figure3b.run(testbed),
         "cloud": lambda: cloud.run(testbed),
-        "p2p": lambda: p2p.run(seed=args.seed),
-        "p2p-contended": lambda: p2p.run_contended(seed=args.seed),
-        "p2p-gossip": lambda: p2p.run_gossip(seed=args.seed),
-        "p2p-chunked": lambda: p2p.run_chunked(seed=args.seed),
     }
+    for name in scenarios.experiment_names():
+        runs[name] = (
+            lambda _runner=scenarios.experiment(name): _runner(seed=args.seed)
+        )
     selected: List[str]
     if args.experiment == "all":
-        selected = ["table2", "table3", "fig3a", "fig3b", "ablations", "cloud",
-                    "p2p"]
+        selected = all_targets()
     else:
         selected = [args.experiment]
 
+    # Text output streams per experiment (an `all` run shows tables as
+    # they finish); only --json buffers, to emit one valid document.
+    json_payload: List[Dict] = []
     for name in selected:
         if name == "ablations":
-            for result in (
+            produced = [
                 ablations.bandwidth_sweep(),
                 ablations.cache_and_dedup(build_testbed()),
                 ablations.solver_comparison(testbed),
                 ablations.scaling(),
-            ):
+            ]
+        else:
+            produced = [runs[name]()]
+        for result in produced:
+            if args.json:
+                json_payload.append(result.to_dict())
+            else:
                 print(result.to_text())
                 print()
-        else:
-            print(runs[name]().to_text())
-            print()
+    if args.json:
+        print(json.dumps(
+            json_payload[0] if len(json_payload) == 1 else json_payload,
+            indent=2,
+        ))
     return 0
 
 

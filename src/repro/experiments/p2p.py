@@ -17,6 +17,13 @@ distribution pays off.  The headline metric is *origin traffic*: bytes
 pulled from hub + regional.  The P2P tier strictly lowers it because
 every layer already cached anywhere in a region can be served locally.
 
+Every experiment here is driven by the declarative scenario API
+(:mod:`repro.scenarios`): a frozen :class:`ScenarioSpec` per
+configuration, variants derived with :func:`dataclasses.replace`, and
+one :class:`SimulationSession` per run.  The historical ``run_mode``
+entry point survives as a thin deprecated shim over that API; its
+sixteen keywords map 1:1 onto spec sections.
+
 Two transfer models are supported (see
 :class:`~repro.sim.transfers.TransferModel`): the default ``ANALYTIC``
 mode keeps the paper's instant-admission accounting (every transfer an
@@ -31,113 +38,51 @@ deliberately overlapping schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from ..model.device import Arch
-from ..model.network import NetworkModel
 from ..model.units import BYTES_PER_GB
-from ..registry.base import ImageReference, mirror_image
-from ..registry.cache import ImageCache
-from ..registry.discovery import GossipDiscovery
-from ..registry.hub import DockerHub
-from ..registry.images import OFFICIAL_BASES, build_image
-from ..registry.minio import MinioStore
 from ..registry.chunks import DEFAULT_CHUNK_SIZE_BYTES
-from ..registry.p2p import AdaptiveReplicator, P2PRegistry, PeerSwarm
-from ..registry.regional import RegionalRegistry
-from ..sim.churn import ChurnConfig, ChurnProcess
-from ..sim.engine import Simulator
-from ..sim.rng import DEFAULT_SEED, RngRegistry
-from ..sim.transfers import TransferEngine, TransferModel
+from ..sim.churn import ChurnConfig
+from ..sim.rng import DEFAULT_SEED
+from ..sim.transfers import TransferModel
+from .. import scenarios
+from ..scenarios import (
+    DISCOVERY_BACKENDS,
+    MODES,
+    ChunkSpec,
+    ChurnSpec,
+    DiscoverySpec,
+    ModeOutcome,
+    ReplicationSpec,
+    ScenarioSpec,
+    SimulationSession,
+    SwarmDevice,
+    SwarmScenario,
+    TopologySpec,
+    TransferSpec,
+    WorkloadSpec,
+    build_swarm_scenario,
+)
 from .runner import ExperimentResult
 
-MODES = ("hub-only", "hybrid", "hybrid+p2p")
-
-DISCOVERY_BACKENDS = ("omniscient", "gossip")
-
-#: Image sizes cycled over the synthetic catalogue (GB, compressed).
-_IMAGE_SIZES_GB = (0.35, 0.6, 0.9, 1.2)
-
-#: Bases cycled over the catalogue: shared layers across images are
-#: what the peer tier (and layer dedup generally) exploits.
-_IMAGE_BASES = ("python:3.9-slim", "alpine:3", "python:3.9")
-
-
-@dataclass(frozen=True)
-class SwarmDevice:
-    """One edge device of the synthetic swarm."""
-
-    name: str
-    region: str
-    cache_gb: float
-
-
-@dataclass
-class SwarmScenario:
-    """A fully wired pull workload over a swarm of edge devices."""
-
-    devices: List[SwarmDevice]
-    network: NetworkModel
-    hub: DockerHub
-    regional: RegionalRegistry
-    references: List[ImageReference]
-    #: (arrival time, device name, reference) — sorted by time.
-    schedule: List[Tuple[float, str, ImageReference]]
-    horizon_s: float
-    seed: int
-
-
-@dataclass
-class ModeOutcome:
-    """Aggregated traffic of one mode run."""
-
-    mode: str
-    pulls: int = 0
-    cache_hits: int = 0
-    bytes_by_registry: Dict[str, int] = field(default_factory=dict)
-    bytes_from_peers: int = 0
-    bytes_replicated: int = 0
-    transfer_s: float = 0.0
-    replicator: Optional[AdaptiveReplicator] = None
-    #: Scheduled pulls that did not finish (time-resolved: still in
-    #: flight; analytic: not yet arrived) when the horizon cut the run
-    #: off.  Nonzero values mean the byte counters under-report — the
-    #: truncation is deliberate but must never be silent.
-    unfinished_pulls: int = 0
-    #: Pulls whose device was offline (churned out) at arrival time.
-    skipped_pulls: int = 0
-    #: Stale discovery entries caught by verification across all pulls
-    #: plus the replicator (0 under omniscient discovery).
-    stale_peer_misses: int = 0
-    #: Churn totals (0 without a churn process).
-    departures: int = 0
-    rejoins: int = 0
-    #: Anti-entropy rounds the gossip backend completed (0 omniscient).
-    gossip_rounds: int = 0
-    #: Simulated time at which the *last* pull of the run completed —
-    #: the cold-start makespan on a wave schedule (0 with no pulls).
-    makespan_s: float = 0.0
-    #: Longest single pull latency (completion minus scheduled
-    #: arrival).  On a near-simultaneous cold wave this is the wave's
-    #: own makespan, independent of where the wave sits on the clock.
-    longest_pull_s: float = 0.0
-    #: Bytes moved over links and thrown away (mid-flight fallbacks,
-    #: losing endgame duplicates); analytic runs always report 0.
-    bytes_wasted: int = 0
-    #: Duplicate chunk requests issued by the chunked endgame.
-    chunk_endgame_dupes: int = 0
-
-    @property
-    def origin_bytes(self) -> int:
-        """Bytes served by hub + regional (the tiers P2P offloads)."""
-        return sum(self.bytes_by_registry.values())
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.cache_hits / self.pulls if self.pulls else 0.0
+__all__ = [
+    "MODES",
+    "DISCOVERY_BACKENDS",
+    "CHURN_REGIMES",
+    "CHUNKED_CHURN_REGIMES",
+    "ModeOutcome",
+    "SwarmDevice",
+    "SwarmScenario",
+    "build_scenario",
+    "build_contended_scenario",
+    "run_mode",
+    "run",
+    "run_contended",
+    "run_gossip",
+    "run_chunked",
+]
 
 
 def build_scenario(
@@ -151,83 +96,74 @@ def build_scenario(
 ) -> SwarmScenario:
     """A deterministic layer-sharing workload on an ``n_devices`` swarm.
 
-    Regions are LAN islands (full mesh at LAN bandwidth); every device
-    reaches the hub (CDN bandwidth varies by region) and the regional
-    registry (fast only for its home region).  Demand is Zipf-skewed
-    over the image catalogue with exponential arrivals.
+    Legacy-signature wrapper over
+    :func:`repro.scenarios.build_swarm_scenario`; see
+    :class:`~repro.scenarios.TopologySpec` /
+    :class:`~repro.scenarios.WorkloadSpec` for the declarative form.
     """
-    if n_devices < 2:
-        raise ValueError("a swarm needs at least 2 devices")
-    rng = RngRegistry(seed)
-
-    # --- registries and the shared-base image catalogue ---------------
-    hub = DockerHub(name="docker-hub")
-    regional = RegionalRegistry(
-        name="regional", store=MinioStore(capacity_gb=200.0)
-    )
-    references: List[ImageReference] = []
-    for i in range(n_images):
-        repo = f"swarm/app{i}"
-        size_gb = _IMAGE_SIZES_GB[i % len(_IMAGE_SIZES_GB)]
-        base = OFFICIAL_BASES[_IMAGE_BASES[i % len(_IMAGE_BASES)]]
-        mlist, blobs = build_image(repo, size_gb, base=base)
-        hub.push_image(repo, "latest", mlist, blobs)
-        mirror_image(hub, regional, repo, "latest")
-        references.append(ImageReference(repo))
-
-    # --- devices, regions, and channels -------------------------------
-    devices = [
-        SwarmDevice(
-            name=f"edge-{i:04d}",
-            region=f"region-{i % n_regions}",
-            cache_gb=cache_gb,
-        )
-        for i in range(n_devices)
-    ]
-    network = NetworkModel()
-    by_region: Dict[str, List[str]] = {}
-    for dev in devices:
-        by_region.setdefault(dev.region, []).append(dev.name)
-    ordered_regions = sorted(by_region.items())
-    for r, (region, members) in enumerate(ordered_regions):
-        if len(members) > 1:
-            network.connect_device_mesh(members, 800.0, rtt_s=0.02)
-        hub_bw = (60.0, 40.0, 25.0)[r % 3]
-        regional_bw = 150.0 if r == 0 else 90.0
-        for name in members:
-            network.connect_registry(hub.name, name, hub_bw, rtt_s=2.5)
-            network.connect_registry(regional.name, name, regional_bw, rtt_s=0.8)
-    # Inter-region WAN links between region gateways (the first member
-    # of each region): slower than the LAN but they make cross-region
-    # peer serving and proactive replication physically possible — a
-    # region no holder can reach cannot be provisioned peer-to-peer.
-    gateways = [members[0] for _, members in ordered_regions]
-    for i, a in enumerate(gateways):
-        for b in gateways[i + 1:]:
-            network.connect_devices(a, b, 200.0, rtt_s=0.05)
-
-    # --- Zipf-skewed pull schedule -------------------------------------
-    weights = np.array([1.0 / (rank + 1) ** 1.1 for rank in range(n_images)])
-    weights /= weights.sum()
-    demand = rng.stream("p2p.demand")
-    arrivals = rng.stream("p2p.arrivals")
-    schedule: List[Tuple[float, str, ImageReference]] = []
-    for dev in devices:
-        t = float(arrivals.uniform(0.0, horizon_s * 0.3))
-        for _ in range(pulls_per_device):
-            ref = references[int(demand.choice(n_images, p=weights))]
-            schedule.append((t, dev.name, ref))
-            t += float(arrivals.exponential(horizon_s * 0.1))
-    schedule.sort(key=lambda item: (item[0], item[1]))
-    return SwarmScenario(
-        devices=devices,
-        network=network,
-        hub=hub,
-        regional=regional,
-        references=references,
-        schedule=schedule,
-        horizon_s=horizon_s,
+    spec = ScenarioSpec(
+        topology=TopologySpec(
+            n_devices=n_devices, n_regions=n_regions, cache_gb=cache_gb
+        ),
+        workload=WorkloadSpec(
+            kind="zipf",
+            n_images=n_images,
+            pulls_per_device=pulls_per_device,
+            horizon_s=horizon_s,
+        ),
         seed=seed,
+    )
+    return build_swarm_scenario(spec)
+
+
+def _contended_base(
+    n_devices: int,
+    n_regions: int,
+    stagger_s: float,
+    seed: int,
+    cache_gb: float = 12.0,
+) -> ScenarioSpec:
+    """The ``p2p-contended`` preset resized — the single source of the
+    contended topology/cold-wave shape (NIC and egress shaping live in
+    the preset, never re-inlined here)."""
+    preset = scenarios.get("p2p-contended")
+    return replace(
+        preset,
+        topology=replace(
+            preset.topology,
+            n_devices=n_devices,
+            n_regions=n_regions,
+            cache_gb=cache_gb,
+        ),
+        workload=replace(preset.workload, stagger_s=stagger_s),
+        seed=seed,
+    )
+
+
+def build_contended_scenario(
+    n_devices: int = 8,
+    n_regions: int = 2,
+    cache_gb: float = 12.0,
+    stagger_s: float = 1.0,
+    seed: int = DEFAULT_SEED,
+) -> SwarmScenario:
+    """A worst-case-overlap schedule: every device pulls the *same*
+    image almost simultaneously (``stagger_s`` apart), twice.
+
+    Each wave is where the models diverge: analytic admission
+    publishes the first puller's layers at pull start, so every
+    follower plans a LAN peer fetch; time-resolved admission publishes
+    nothing until a transfer actually completes, so the bulk of a wave
+    goes to the origin and additionally contends for link capacity.
+    The second wave pulls a *different* image (sharing a base with the
+    first), so both waves are cold and the gap compounds.
+
+    Devices also get shared NIC links (uplink/downlink) and the
+    registries shared egress links, so time-resolved transfers contend
+    at the endpoints, not just on individual channels.
+    """
+    return build_swarm_scenario(
+        _contended_base(n_devices, n_regions, stagger_s, seed, cache_gb)
     )
 
 
@@ -251,184 +187,107 @@ def run_mode(
 ) -> ModeOutcome:
     """Execute the scenario's pull schedule under one tier configuration.
 
-    Every mode goes through the same :class:`P2PRegistry` facade on a
-    fresh simulator and fresh caches; modes differ only in the registry
-    chain and whether peers/replication are enabled, so byte counts are
-    directly comparable.  The scenario's registry *objects* are shared
-    across modes — their blob content is immutable, but diagnostic pull
-    counters accumulate, so scenarios must not configure a hub rate
-    limiter (``build_scenario`` never does).
+    .. deprecated::
+        ``run_mode`` is a compatibility shim: its sixteen keywords are
+        translated into a :class:`~repro.scenarios.ScenarioSpec` and
+        run through :class:`~repro.scenarios.SimulationSession`.  New
+        code should build specs directly (or start from a preset via
+        :func:`repro.scenarios.get`) — specs validate cross-field
+        rules at construction, serialise, and compose.
 
-    Under ``TransferModel.TIME_RESOLVED`` every pull runs through a
-    shared :class:`TransferEngine` (one per mode run): transfers
-    contend for channel capacity, peers admit layers at completion
-    only, and ``upload_budget`` caps concurrent uploads per device.
-
-    ``discovery`` selects the replica-lookup backend: ``"omniscient"``
-    (the default, instantaneous global knowledge — reproduces the
-    historical numbers bit-for-bit) or ``"gossip"`` (per-device
-    partial views converging via anti-entropy every
-    ``gossip_period_s``, stale entries metered and fallen back from).
-    A ``churn`` config additionally runs a seeded
-    :class:`~repro.sim.churn.ChurnProcess`: idle devices depart and
-    re-join with their (stale) caches, and pulls arriving while their
-    device is offline are skipped and counted.
-
-    ``chunked=True`` (time-resolved only) swaps the per-layer
-    single-source fetch for the BitTorrent-style per-chunk schedule of
-    :class:`~repro.registry.chunks.ChunkSwarmPlanner` — rarest-first
-    selection over full *and partial* holders, ``chunk_parallel``
-    concurrent sources per layer, endgame registry re-requests.
-    ``replicator_churn_aware=True`` hands the churn process to the
-    replicator so replica targets weight holders by observed session
-    lengths; both are opt-in so default outputs stay bit-for-bit.
+    Legacy keyword semantics are preserved exactly: gossip knobs are
+    ignored unless ``discovery="gossip"``, ``upload_budget`` is
+    ignored under the analytic model, and
+    ``replicator_churn_aware=True`` without a ``churn`` config is a
+    no-op.
     """
-    if mode not in MODES:
-        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
-    if discovery not in DISCOVERY_BACKENDS:
-        raise ValueError(
-            f"unknown discovery {discovery!r}; expected one of "
-            f"{DISCOVERY_BACKENDS}"
-        )
-    sim = Simulator()
-    rng = RngRegistry(scenario.seed)
-    backend: Optional[GossipDiscovery] = None
-    if discovery == "gossip":
-        backend = GossipDiscovery(
-            sim=sim,
-            fanout=gossip_fanout,
-            period_s=gossip_period_s,
-            view_cap=gossip_view_cap,
-            seed=rng.derive_seed("p2p.gossip") % (2**32),
-        )
-        swarm = PeerSwarm(scenario.network, discovery=backend)
-    else:
-        swarm = PeerSwarm(scenario.network)
-    caches: Dict[str, ImageCache] = {}
-    for dev in scenario.devices:
-        cache = ImageCache(dev.cache_gb, dev.name)
-        caches[dev.name] = cache
-        swarm.add_device(dev.name, cache, region=dev.region)
-
-    if chunked and transfer_model is not TransferModel.TIME_RESOLVED:
-        raise ValueError(
-            "chunked pulls need TransferModel.TIME_RESOLVED (the analytic "
-            "model has no notion of a partially transferred layer)"
-        )
-    if mode == "hub-only":
-        chain = [scenario.hub]
-    else:
-        chain = [scenario.regional, scenario.hub]
-    facade = P2PRegistry(
-        swarm,
-        chain,
-        name=mode,
-        use_peers=(mode == "hybrid+p2p"),
+    warnings.warn(
+        "run_mode(**kwargs) is deprecated; build a "
+        "repro.scenarios.ScenarioSpec and use SimulationSession instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = _legacy_spec(
+        scenario=scenario,
+        mode=mode,
+        replicator_interval_s=replicator_interval_s,
+        replicator_hot_threshold=replicator_hot_threshold,
+        replicator_target_replicas=replicator_target_replicas,
+        transfer_model=transfer_model,
+        upload_budget=upload_budget,
+        discovery=discovery,
+        gossip_fanout=gossip_fanout,
+        gossip_period_s=gossip_period_s,
+        gossip_view_cap=gossip_view_cap,
+        churn=churn,
         chunked=chunked,
         chunk_size_bytes=chunk_size_bytes,
         chunk_parallel=chunk_parallel,
-        chunk_seed=scenario.seed,
+        replicator_churn_aware=replicator_churn_aware,
     )
-    outcome = ModeOutcome(mode=mode)
-    engine: Optional[TransferEngine] = None
-    if transfer_model is TransferModel.TIME_RESOLVED:
-        engine = TransferEngine(
-            sim, scenario.network, default_upload_budget=upload_budget
+    return SimulationSession(spec, scenario=scenario).run()
+
+
+def _legacy_spec(
+    scenario: SwarmScenario,
+    mode: str,
+    replicator_interval_s: float,
+    replicator_hot_threshold: float,
+    replicator_target_replicas: int,
+    transfer_model: TransferModel,
+    upload_budget: Optional[int],
+    discovery: str,
+    gossip_fanout: int,
+    gossip_period_s: float,
+    gossip_view_cap: int,
+    churn: Optional[ChurnConfig],
+    chunked: bool,
+    chunk_size_bytes: int,
+    chunk_parallel: int,
+    replicator_churn_aware: bool,
+) -> ScenarioSpec:
+    """Map the historical ``run_mode`` keywords onto a spec.
+
+    The spec's topology/workload sections are placeholders — the
+    caller's pre-built ``scenario`` supersedes them (see
+    :class:`SimulationSession`) — but every run-affecting keyword maps
+    onto its validated section.
+    """
+    time_resolved = transfer_model is TransferModel.TIME_RESOLVED
+    if discovery == "gossip":
+        discovery_spec = DiscoverySpec(
+            backend="gossip",
+            gossip_fanout=gossip_fanout,
+            gossip_period_s=gossip_period_s,
+            gossip_view_cap=gossip_view_cap,
         )
-
-    busy: Dict[str, int] = {}
-    churn_process: Optional[ChurnProcess] = None
-    if churn is not None:
-        churn_process = ChurnProcess(
-            sim,
-            swarm,
-            rng.fork("p2p.churn"),
-            config=churn,
-            engine=engine,
-            is_busy=lambda device: busy.get(device, 0) > 0,
-        )
-        churn_process.start()
-
-    def account(result) -> None:
-        outcome.pulls += 1
-        outcome.cache_hits += 1 if result.cache_hit else 0
-        outcome.bytes_from_peers += result.bytes_from_peers
-        outcome.stale_peer_misses += result.stale_peer_misses
-        outcome.transfer_s += result.seconds
-        outcome.bytes_wasted += result.bytes_wasted
-        outcome.chunk_endgame_dupes += result.chunk_endgame_dupes
-        outcome.makespan_s = max(outcome.makespan_s, sim.now)
-        for registry, count in result.bytes_by_registry().items():
-            outcome.bytes_by_registry[registry] = (
-                outcome.bytes_by_registry.get(registry, 0) + count
-            )
-
-    def one_pull(at_s: float, device: str, ref: ImageReference):
-        yield sim.timeout(at_s)
-        if churn_process is not None and not churn_process.is_online(device):
-            # The device churned out before its pull arrived; a real
-            # workload would reschedule elsewhere — here the skip is
-            # counted so byte totals are never silently short.
-            outcome.skipped_pulls += 1
-            return
-        busy[device] = busy.get(device, 0) + 1
-        try:
-            if engine is None:
-                result = facade.pull(
-                    ref, Arch.AMD64, device, caches[device], now_s=sim.now
-                )
-                account(result)
-                if result.seconds > 0:
-                    yield sim.timeout(result.seconds)
-                # account() ran at pull start (analytic admission is
-                # instant); the makespan must cover the modelled sleep.
-                outcome.makespan_s = max(outcome.makespan_s, sim.now)
-                outcome.longest_pull_s = max(
-                    outcome.longest_pull_s, sim.now - at_s
-                )
-            else:
-                result = yield from facade.pull_process(
-                    ref, Arch.AMD64, device, caches[device], engine
-                )
-                account(result)
-                outcome.longest_pull_s = max(
-                    outcome.longest_pull_s, sim.now - at_s
-                )
-        finally:
-            busy[device] -= 1
-
-    for at_s, device, ref in scenario.schedule:
-        sim.process(one_pull(at_s, device, ref))
-
-    if mode == "hybrid+p2p":
-        replicator = AdaptiveReplicator(
-            sim,
-            swarm,
+    else:
+        # Legacy calls always carried (default) gossip knobs; they were
+        # ignored without the gossip backend, and still are.
+        discovery_spec = DiscoverySpec(backend=discovery)
+    return ScenarioSpec(
+        mode=mode,
+        transfer=TransferSpec(
+            model=transfer_model,
+            # Ignored by the analytic model, exactly as before.
+            upload_budget=upload_budget if time_resolved else None,
+        ),
+        discovery=discovery_spec,
+        churn=None if churn is None else ChurnSpec.from_config(churn),
+        replication=ReplicationSpec(
             interval_s=replicator_interval_s,
             hot_threshold=replicator_hot_threshold,
             target_replicas=replicator_target_replicas,
-            engine=engine,
-            churn=churn_process if replicator_churn_aware else None,
-        )
-        sim.process(replicator.process())
-        outcome.replicator = replicator
-        sim.run(until=scenario.horizon_s)
-        outcome.bytes_replicated = replicator.bytes_replicated
-    else:
-        sim.run(until=scenario.horizon_s)
-    outcome.unfinished_pulls = (
-        len(scenario.schedule) - outcome.pulls - outcome.skipped_pulls
+            # Legacy quietly no-op'd churn awareness without churn.
+            churn_aware=replicator_churn_aware and churn is not None,
+        ),
+        chunks=ChunkSpec(
+            enabled=chunked,
+            size_bytes=chunk_size_bytes,
+            parallel=chunk_parallel,
+        ),
+        seed=scenario.seed,
     )
-    if churn_process is not None:
-        outcome.departures = churn_process.departures
-        outcome.rejoins = churn_process.rejoins
-    if backend is not None:
-        outcome.gossip_rounds = backend.rounds
-        # Replicator-side misses are metered on the backend, not on
-        # any pull result; fold the total in so the outcome's counter
-        # matches the swarm-wide one.
-        outcome.stale_peer_misses = backend.stale_misses
-    return outcome
 
 
 def run(
@@ -438,14 +297,27 @@ def run(
     n_regions: int = 3,
     seed: int = DEFAULT_SEED,
 ) -> ExperimentResult:
-    """The three-tier comparison as a standard experiment table."""
-    scenario = build_scenario(
-        n_devices=n_devices,
-        n_images=n_images,
-        pulls_per_device=pulls_per_device,
-        n_regions=n_regions,
+    """The three-tier comparison as a standard experiment table.
+
+    The base configuration is the ``p2p`` preset resized — preset and
+    experiment cannot drift apart.
+    """
+    preset = scenarios.get("p2p")
+    base = replace(
+        preset,
+        topology=replace(
+            preset.topology, n_devices=n_devices, n_regions=n_regions
+        ),
+        workload=replace(
+            preset.workload,
+            n_images=n_images,
+            pulls_per_device=pulls_per_device,
+        ),
         seed=seed,
     )
+    # One scenario shared by every mode: registry blob content is
+    # immutable, so byte counts stay directly comparable.
+    scenario = build_swarm_scenario(base)
     result = ExperimentResult(
         experiment_id="p2p",
         title=(
@@ -465,7 +337,9 @@ def run(
     )
     outcomes: Dict[str, ModeOutcome] = {}
     for mode in MODES:
-        outcome = run_mode(scenario, mode)
+        outcome = SimulationSession(
+            replace(base, mode=mode), scenario=scenario
+        ).run()
         outcomes[mode] = outcome
         result.add_row(
             mode=mode,
@@ -498,57 +372,6 @@ def run(
 # ----------------------------------------------------------------------
 # contended overlap: analytic vs time-resolved
 # ----------------------------------------------------------------------
-def build_contended_scenario(
-    n_devices: int = 8,
-    n_regions: int = 2,
-    cache_gb: float = 12.0,
-    stagger_s: float = 1.0,
-    seed: int = DEFAULT_SEED,
-) -> SwarmScenario:
-    """A worst-case-overlap schedule: every device pulls the *same*
-    image almost simultaneously (``stagger_s`` apart), twice.
-
-    Each wave is where the models diverge: analytic admission
-    publishes the first puller's layers at pull start, so every
-    follower plans a LAN peer fetch; time-resolved admission publishes
-    nothing until a transfer actually completes, so the bulk of a wave
-    goes to the origin and additionally contends for link capacity.
-    The second wave pulls a *different* image (sharing a base with the
-    first), so both waves are cold and the gap compounds.
-
-    Devices also get shared NIC links (uplink/downlink) and the
-    registries shared egress links, so time-resolved transfers contend
-    at the endpoints, not just on individual channels.
-    """
-    scenario = build_scenario(
-        n_devices=n_devices,
-        n_images=2,
-        pulls_per_device=1,
-        n_regions=n_regions,
-        cache_gb=cache_gb,
-        seed=seed,
-    )
-    network = scenario.network
-    for dev in scenario.devices:
-        network.set_uplink(dev.name, 400.0)
-        network.set_downlink(dev.name, 400.0)
-    network.set_uplink(scenario.hub.name, 500.0)
-    network.set_uplink(scenario.regional.name, 300.0)
-    first_wave = [
-        (i * stagger_s, dev.name, scenario.references[0])
-        for i, dev in enumerate(scenario.devices)
-    ]
-    # Second wave well after every first-wave transfer has completed,
-    # pulling the sibling image (shared base, fresh app layers).
-    wave_gap_s = scenario.horizon_s * 0.5
-    second_wave = [
-        (wave_gap_s + i * stagger_s, dev.name, scenario.references[1])
-        for i, dev in enumerate(scenario.devices)
-    ]
-    scenario.schedule = first_wave + second_wave
-    return scenario
-
-
 def run_contended(
     n_devices: int = 8,
     n_regions: int = 2,
@@ -582,18 +405,23 @@ def run_contended(
     )
     savings: Dict[TransferModel, int] = {}
     for model in (TransferModel.ANALYTIC, TransferModel.TIME_RESOLVED):
-        scenario = build_contended_scenario(
-            n_devices=n_devices, n_regions=n_regions, seed=seed
+        base = replace(
+            _contended_base(n_devices, n_regions, 1.0, seed),
+            transfer=TransferSpec(
+                model=model,
+                # The analytic model has no engine to budget uploads.
+                upload_budget=(
+                    upload_budget
+                    if model is TransferModel.TIME_RESOLVED
+                    else None
+                ),
+            ),
         )
-        hybrid = run_mode(
-            scenario, "hybrid", transfer_model=model, upload_budget=upload_budget
-        )
-        p2p = run_mode(
-            scenario,
-            "hybrid+p2p",
-            transfer_model=model,
-            upload_budget=upload_budget,
-        )
+        scenario = build_swarm_scenario(base)
+        hybrid = SimulationSession(
+            replace(base, mode="hybrid"), scenario=scenario
+        ).run()
+        p2p = SimulationSession(base, scenario=scenario).run()
         saved = hybrid.origin_bytes - p2p.origin_bytes
         savings[model] = saved
         for outcome in (hybrid, p2p):
@@ -635,11 +463,11 @@ def run_contended(
 #: that seeders routinely depart *mid-upload*: the restart-waste axis —
 #: a single-source pull loses the whole layer's delivered bytes, a
 #: chunked pull only the chunk in flight.
-CHUNKED_CHURN_REGIMES: Tuple[Tuple[str, float, Optional[ChurnConfig]], ...] = (
+CHUNKED_CHURN_REGIMES: Tuple[Tuple[str, float, Optional[ChurnSpec]], ...] = (
     ("cold-wave", 1.0, None),
-    ("seeder-flaky", 10.0, ChurnConfig(mean_uptime_s=25.0,
-                                       mean_downtime_s=100.0,
-                                       min_online=2)),
+    ("seeder-flaky", 10.0, ChurnSpec(mean_uptime_s=25.0,
+                                     mean_downtime_s=100.0,
+                                     min_online=2)),
 )
 
 
@@ -685,26 +513,26 @@ def run_chunked(
             "stale_misses",
         ],
     )
-    for label, stagger_s, churn_cfg in CHUNKED_CHURN_REGIMES:
+    for label, stagger_s, churn_spec in CHUNKED_CHURN_REGIMES:
         outcomes: Dict[bool, ModeOutcome] = {}
         for chunked in (False, True):
-            scenario = build_contended_scenario(
-                n_devices=n_devices,
-                n_regions=n_regions,
-                stagger_s=stagger_s,
-                seed=seed,
+            spec = replace(
+                _contended_base(n_devices, n_regions, stagger_s, seed),
+                transfer=TransferSpec(
+                    model=TransferModel.TIME_RESOLVED,
+                    upload_budget=upload_budget,
+                ),
+                churn=churn_spec,
+                replication=ReplicationSpec(
+                    churn_aware=(churn_spec is not None)
+                ),
+                chunks=ChunkSpec(
+                    enabled=chunked,
+                    size_bytes=chunk_size_bytes,
+                    parallel=chunk_parallel,
+                ),
             )
-            outcome = run_mode(
-                scenario,
-                "hybrid+p2p",
-                transfer_model=TransferModel.TIME_RESOLVED,
-                upload_budget=upload_budget,
-                churn=churn_cfg,
-                chunked=chunked,
-                chunk_size_bytes=chunk_size_bytes,
-                chunk_parallel=chunk_parallel,
-                replicator_churn_aware=(churn_cfg is not None),
-            )
+            outcome = SimulationSession(spec).run()
             outcomes[chunked] = outcome
             if outcome.unfinished_pulls:
                 result.note(
@@ -736,7 +564,7 @@ def run_chunked(
                 f"{single.longest_pull_s:.1f} s ({gain:.1f}% faster)"
                 + ("" if gain > 0 else " — NO REDUCTION")
             )
-        if churn_cfg is not None:
+        if churn_spec is not None:
             result.note(
                 f"churn={label}: restart waste {single.bytes_wasted / 1e6:.1f} "
                 f"MB single-source vs {chunked_out.bytes_wasted / 1e6:.1f} MB "
@@ -756,14 +584,14 @@ def run_chunked(
 
 #: (label, config) churn regimes the gossip experiment sweeps.  Uptime
 #: and downtime means are chosen against the scenario's 3600 s horizon:
-#: "moderate" churns a few devices per run, "heavy" keeps a sizeable
-#: fraction of the swarm cycling.
-CHURN_REGIMES: Tuple[Tuple[str, Optional[ChurnConfig]], ...] = (
+#: "moderate" churns a few devices per run (and IS the ``p2p-gossip``
+#: preset's regime — the two cannot drift apart), "heavy" keeps a
+#: sizeable fraction of the swarm cycling.
+CHURN_REGIMES: Tuple[Tuple[str, Optional[ChurnSpec]], ...] = (
     ("none", None),
-    ("moderate", ChurnConfig(mean_uptime_s=1500.0, mean_downtime_s=300.0,
-                             min_online=4)),
-    ("heavy", ChurnConfig(mean_uptime_s=500.0, mean_downtime_s=300.0,
-                          min_online=4)),
+    ("moderate", scenarios.get("p2p-gossip").churn),
+    ("heavy", ChurnSpec(mean_uptime_s=500.0, mean_downtime_s=300.0,
+                        min_online=4)),
 )
 
 
@@ -805,26 +633,41 @@ def run_gossip(
             "saved_pct",
         ],
     )
+    preset = scenarios.get("p2p-gossip")
     gaps: List[Tuple[str, float]] = []
-    for label, churn_cfg in CHURN_REGIMES:
-        scenario = build_scenario(
-            n_devices=n_devices,
-            n_images=n_images,
-            pulls_per_device=pulls_per_device,
-            n_regions=n_regions,
+    for label, churn_spec in CHURN_REGIMES:
+        base = replace(
+            preset,
+            topology=replace(
+                preset.topology, n_devices=n_devices, n_regions=n_regions
+            ),
+            workload=replace(
+                preset.workload,
+                n_images=n_images,
+                pulls_per_device=pulls_per_device,
+            ),
+            discovery=DiscoverySpec(),  # backend swapped per run below
+            churn=churn_spec,
             seed=seed,
         )
-        hybrid = run_mode(scenario, "hybrid", churn=churn_cfg)
+        scenario = build_swarm_scenario(base)
+        hybrid = SimulationSession(
+            replace(base, mode="hybrid"), scenario=scenario
+        ).run()
         saved_by_backend: Dict[str, int] = {}
         for backend in DISCOVERY_BACKENDS:
-            outcome = run_mode(
-                scenario,
-                "hybrid+p2p",
-                discovery=backend,
-                gossip_fanout=gossip_fanout,
-                gossip_period_s=gossip_period_s,
-                churn=churn_cfg,
+            discovery = (
+                replace(
+                    preset.discovery,
+                    gossip_fanout=gossip_fanout,
+                    gossip_period_s=gossip_period_s,
+                )
+                if backend == "gossip"
+                else DiscoverySpec()
             )
+            outcome = SimulationSession(
+                replace(base, discovery=discovery), scenario=scenario
+            ).run()
             saved = hybrid.origin_bytes - outcome.origin_bytes
             saved_by_backend[backend] = saved
             result.add_row(
@@ -852,3 +695,12 @@ def run_gossip(
             + ("" if gap_gb >= 0 else " (gossip saved MORE — investigate)")
         )
     return result
+
+
+# The CLI (and anything else enumerating runnable scenario families)
+# derives its run list from this registry — a new experiment that
+# registers here can never be silently dropped from `repro all`.
+scenarios.attach_experiment("p2p", run)
+scenarios.attach_experiment("p2p-contended", run_contended)
+scenarios.attach_experiment("p2p-gossip", run_gossip)
+scenarios.attach_experiment("p2p-chunked", run_chunked)

@@ -24,6 +24,20 @@ from ..sim.transfers import TransferModel
 from ..workloads.testbed import Testbed
 
 
+def _json_safe(value: Any) -> Any:
+    """Coerce row cells (numpy scalars, bools, strs) to JSON types."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    for caster in (int, float):
+        try:
+            cast = caster(value)
+        except (TypeError, ValueError):
+            continue
+        if cast == value:
+            return cast
+    return str(value)
+
+
 @dataclass
 class ExperimentResult:
     """One regenerated table or figure."""
@@ -45,6 +59,19 @@ class ExperimentResult:
 
     def column(self, name: str) -> List[Any]:
         return [row[name] for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict (the CLI's ``--json`` payload)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {key: _json_safe(value) for key, value in row.items()}
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
 
     def to_text(self) -> str:
         """Render as an aligned text table (the CLI output)."""

@@ -1,0 +1,73 @@
+"""Declarative scenario specs and the simulation session facade.
+
+The public face of the swarm stack: describe a run as a frozen,
+validated, serializable :class:`ScenarioSpec`, hand it to
+:class:`SimulationSession`, and read the :class:`ModeOutcome`::
+
+    from repro import scenarios
+
+    spec = scenarios.get("p2p-gossip")              # a named preset
+    spec = scenarios.with_overrides(spec, {"churn.mean_uptime_s": 600})
+    outcome = scenarios.SimulationSession(spec).run()
+    print(outcome.to_dict())
+
+See ``src/repro/scenarios/README.md`` for spec anatomy, the preset
+list, and override examples.
+"""
+
+from .build import SwarmDevice, SwarmScenario, build_swarm_scenario
+from .presets import (
+    Preset,
+    attach_experiment,
+    entries,
+    experiment,
+    experiment_names,
+    get,
+    names,
+    register,
+)
+from .session import ModeOutcome, SimulationSession
+from .spec import (
+    DISCOVERY_BACKENDS,
+    MODES,
+    WORKLOAD_KINDS,
+    ChunkSpec,
+    ChurnSpec,
+    DiscoverySpec,
+    ReplicationSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TransferSpec,
+    WorkloadSpec,
+    parse_set_flags,
+    with_overrides,
+)
+
+__all__ = [
+    "DISCOVERY_BACKENDS",
+    "MODES",
+    "WORKLOAD_KINDS",
+    "ChunkSpec",
+    "ChurnSpec",
+    "DiscoverySpec",
+    "ModeOutcome",
+    "Preset",
+    "ReplicationSpec",
+    "ScenarioSpec",
+    "SimulationSession",
+    "SwarmDevice",
+    "SwarmScenario",
+    "TopologySpec",
+    "TransferSpec",
+    "WorkloadSpec",
+    "attach_experiment",
+    "build_swarm_scenario",
+    "entries",
+    "experiment",
+    "experiment_names",
+    "get",
+    "names",
+    "parse_set_flags",
+    "register",
+    "with_overrides",
+]

@@ -1,0 +1,322 @@
+"""The simulation facade: one place that assembles and runs a scenario.
+
+:class:`SimulationSession` turns a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` into a wired simulation —
+simulator, network, caches, :class:`~repro.registry.p2p.PeerSwarm`,
+discovery backend, churn process, transfer engine, registry chain, and
+replicator — and exposes ``session.run() -> ModeOutcome``.  Everything
+``experiments.p2p.run_mode`` used to wire by hand at sixteen call-site
+keywords happens here, driven by the spec's validated sections.
+
+The run loop is a faithful port of the historical ``run_mode`` body:
+RNG stream names ("p2p.gossip", "p2p.churn"), process creation order
+(pull processes first, replicator last), and accounting are identical,
+which keeps every experiment output bit-for-bit pinned to PR 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..model.device import Arch
+from ..registry.base import ImageReference
+from ..registry.cache import ImageCache
+from ..registry.discovery import GossipDiscovery
+from ..registry.p2p import AdaptiveReplicator, P2PRegistry, PeerSwarm
+from ..sim.churn import ChurnProcess
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
+from ..sim.transfers import TransferEngine
+from .build import SwarmScenario, build_swarm_scenario
+from .spec import ScenarioSpec
+
+
+@dataclass
+class ModeOutcome:
+    """Aggregated traffic of one session run."""
+
+    mode: str
+    pulls: int = 0
+    cache_hits: int = 0
+    bytes_by_registry: Dict[str, int] = field(default_factory=dict)
+    bytes_from_peers: int = 0
+    bytes_replicated: int = 0
+    transfer_s: float = 0.0
+    replicator: Optional[AdaptiveReplicator] = None
+    #: Scheduled pulls that did not finish (time-resolved: still in
+    #: flight; analytic: not yet arrived) when the horizon cut the run
+    #: off.  Nonzero values mean the byte counters under-report — the
+    #: truncation is deliberate but must never be silent.
+    unfinished_pulls: int = 0
+    #: Pulls whose device was offline (churned out) at arrival time.
+    skipped_pulls: int = 0
+    #: Stale discovery entries caught by verification across all pulls
+    #: plus the replicator (0 under omniscient discovery).
+    stale_peer_misses: int = 0
+    #: Churn totals (0 without a churn process).
+    departures: int = 0
+    rejoins: int = 0
+    #: Anti-entropy rounds the gossip backend completed (0 omniscient).
+    gossip_rounds: int = 0
+    #: Simulated time at which the *last* pull of the run completed —
+    #: the cold-start makespan on a wave schedule (0 with no pulls).
+    makespan_s: float = 0.0
+    #: Longest single pull latency (completion minus scheduled
+    #: arrival).  On a near-simultaneous cold wave this is the wave's
+    #: own makespan, independent of where the wave sits on the clock.
+    longest_pull_s: float = 0.0
+    #: Bytes moved over links and thrown away (mid-flight fallbacks,
+    #: losing endgame duplicates); analytic runs always report 0.
+    bytes_wasted: int = 0
+    #: Duplicate chunk requests issued by the chunked endgame.
+    chunk_endgame_dupes: int = 0
+
+    @property
+    def origin_bytes(self) -> int:
+        """Bytes served by hub + regional (the tiers P2P offloads)."""
+        return sum(self.bytes_by_registry.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.pulls if self.pulls else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict of every counter.
+
+        The live :class:`AdaptiveReplicator` object is summarised to
+        its headline numbers (``None`` when the mode ran without one).
+        """
+        data = {
+            "mode": self.mode,
+            "pulls": self.pulls,
+            "cache_hits": self.cache_hits,
+            "hit_ratio": self.hit_ratio,
+            "bytes_by_registry": dict(self.bytes_by_registry),
+            "origin_bytes": self.origin_bytes,
+            "bytes_from_peers": self.bytes_from_peers,
+            "bytes_replicated": self.bytes_replicated,
+            "transfer_s": self.transfer_s,
+            "unfinished_pulls": self.unfinished_pulls,
+            "skipped_pulls": self.skipped_pulls,
+            "stale_peer_misses": self.stale_peer_misses,
+            "departures": self.departures,
+            "rejoins": self.rejoins,
+            "gossip_rounds": self.gossip_rounds,
+            "makespan_s": self.makespan_s,
+            "longest_pull_s": self.longest_pull_s,
+            "bytes_wasted": self.bytes_wasted,
+            "chunk_endgame_dupes": self.chunk_endgame_dupes,
+            "replicator": None,
+        }
+        if self.replicator is not None:
+            data["replicator"] = {
+                "actions": self.replicator.total_actions(),
+                "bytes_replicated": self.replicator.bytes_replicated,
+                "converged": self.replicator.converged(),
+            }
+        return data
+
+
+class SimulationSession:
+    """Assembles one scenario run and executes its pull schedule.
+
+    ``SimulationSession(spec)`` builds the scenario from the spec's
+    topology/workload sections; passing a pre-built ``scenario`` reuses
+    it instead — that is how comparative experiments run several
+    sessions (different modes, discovery backends, …) over the *same*
+    registries, so byte counts stay directly comparable (registry blob
+    content is immutable; only diagnostic pull counters accumulate —
+    scenarios must not configure a hub rate limiter, and the builder
+    never does).  A shared scenario must carry the spec's seed.
+
+    Sessions are single-use: :meth:`run` consumes the simulator state
+    and raises on a second call.  After assembly the wired components
+    are exposed (``sim``, ``swarm``, ``caches``, ``facade``,
+    ``engine``, ``discovery``, ``churn_process``, ``replicator``) for
+    tests and diagnostics.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        scenario: Optional[SwarmScenario] = None,
+    ) -> None:
+        self.spec = spec
+        if scenario is None:
+            scenario = build_swarm_scenario(spec)
+        elif scenario.seed != spec.seed:
+            raise ValueError(
+                f"pre-built scenario seed {scenario.seed} does not match "
+                f"spec seed {spec.seed}; derive the spec with "
+                f"replace(spec, seed=scenario.seed)"
+            )
+        self.scenario = scenario
+        self._ran = False
+        self._assemble()
+
+    # -- wiring ---------------------------------------------------------
+    def _assemble(self) -> None:
+        spec, scenario = self.spec, self.scenario
+        self.sim = Simulator()
+        self.rng = RngRegistry(scenario.seed)
+
+        self.discovery: Optional[GossipDiscovery] = None
+        if spec.discovery.backend == "gossip":
+            self.discovery = GossipDiscovery(
+                sim=self.sim,
+                fanout=spec.discovery.gossip_fanout,
+                period_s=spec.discovery.gossip_period_s,
+                view_cap=spec.discovery.gossip_view_cap,
+                seed=self.rng.derive_seed("p2p.gossip") % (2**32),
+            )
+            self.swarm = PeerSwarm(scenario.network, discovery=self.discovery)
+        else:
+            self.swarm = PeerSwarm(scenario.network)
+        self.caches: Dict[str, ImageCache] = {}
+        for dev in scenario.devices:
+            cache = ImageCache(dev.cache_gb, dev.name)
+            self.caches[dev.name] = cache
+            self.swarm.add_device(dev.name, cache, region=dev.region)
+
+        if spec.mode == "hub-only":
+            chain = [scenario.hub]
+        else:
+            chain = [scenario.regional, scenario.hub]
+        self.facade = P2PRegistry(
+            self.swarm,
+            chain,
+            name=spec.mode,
+            use_peers=(spec.mode == "hybrid+p2p"),
+            chunked=spec.chunks.enabled,
+            chunk_size_bytes=spec.chunks.size_bytes,
+            chunk_parallel=spec.chunks.parallel,
+            chunk_seed=scenario.seed,
+        )
+        self.engine: Optional[TransferEngine] = None
+        if spec.transfer.time_resolved:
+            self.engine = TransferEngine(
+                self.sim,
+                scenario.network,
+                default_upload_budget=spec.transfer.upload_budget,
+            )
+
+        self._busy: Dict[str, int] = {}
+        self.churn_process: Optional[ChurnProcess] = None
+        if spec.churn is not None:
+            self.churn_process = ChurnProcess(
+                self.sim,
+                self.swarm,
+                self.rng.fork("p2p.churn"),
+                config=spec.churn.to_config(),
+                engine=self.engine,
+                is_busy=lambda device: self._busy.get(device, 0) > 0,
+            )
+        self.replicator: Optional[AdaptiveReplicator] = None
+        if spec.mode == "hybrid+p2p":
+            self.replicator = AdaptiveReplicator(
+                self.sim,
+                self.swarm,
+                interval_s=spec.replication.interval_s,
+                hot_threshold=spec.replication.hot_threshold,
+                target_replicas=spec.replication.target_replicas,
+                engine=self.engine,
+                churn=(
+                    self.churn_process
+                    if spec.replication.churn_aware
+                    else None
+                ),
+            )
+
+    # -- execution ------------------------------------------------------
+    def run(self) -> ModeOutcome:
+        """Execute the scenario's pull schedule; single-use."""
+        if self._ran:
+            raise RuntimeError(
+                "a SimulationSession is single-use; build a new one to "
+                "re-run the scenario"
+            )
+        self._ran = True
+        spec, scenario = self.spec, self.scenario
+        sim, engine, facade = self.sim, self.engine, self.facade
+        caches, busy = self.caches, self._busy
+        churn_process = self.churn_process
+        if churn_process is not None:
+            churn_process.start()
+
+        outcome = ModeOutcome(mode=spec.mode)
+
+        def account(result) -> None:
+            outcome.pulls += 1
+            outcome.cache_hits += 1 if result.cache_hit else 0
+            outcome.bytes_from_peers += result.bytes_from_peers
+            outcome.stale_peer_misses += result.stale_peer_misses
+            outcome.transfer_s += result.seconds
+            outcome.bytes_wasted += result.bytes_wasted
+            outcome.chunk_endgame_dupes += result.chunk_endgame_dupes
+            outcome.makespan_s = max(outcome.makespan_s, sim.now)
+            for registry, count in result.bytes_by_registry().items():
+                outcome.bytes_by_registry[registry] = (
+                    outcome.bytes_by_registry.get(registry, 0) + count
+                )
+
+        def one_pull(at_s: float, device: str, ref: ImageReference):
+            yield sim.timeout(at_s)
+            if churn_process is not None and not churn_process.is_online(
+                device
+            ):
+                # The device churned out before its pull arrived; a real
+                # workload would reschedule elsewhere — here the skip is
+                # counted so byte totals are never silently short.
+                outcome.skipped_pulls += 1
+                return
+            busy[device] = busy.get(device, 0) + 1
+            try:
+                if engine is None:
+                    result = facade.pull(
+                        ref, Arch.AMD64, device, caches[device], now_s=sim.now
+                    )
+                    account(result)
+                    if result.seconds > 0:
+                        yield sim.timeout(result.seconds)
+                    # account() ran at pull start (analytic admission is
+                    # instant); the makespan must cover the modelled
+                    # sleep.
+                    outcome.makespan_s = max(outcome.makespan_s, sim.now)
+                    outcome.longest_pull_s = max(
+                        outcome.longest_pull_s, sim.now - at_s
+                    )
+                else:
+                    result = yield from facade.pull_process(
+                        ref, Arch.AMD64, device, caches[device], engine
+                    )
+                    account(result)
+                    outcome.longest_pull_s = max(
+                        outcome.longest_pull_s, sim.now - at_s
+                    )
+            finally:
+                busy[device] -= 1
+
+        for at_s, device, ref in scenario.schedule:
+            sim.process(one_pull(at_s, device, ref))
+
+        if self.replicator is not None:
+            sim.process(self.replicator.process())
+            outcome.replicator = self.replicator
+            sim.run(until=scenario.horizon_s)
+            outcome.bytes_replicated = self.replicator.bytes_replicated
+        else:
+            sim.run(until=scenario.horizon_s)
+        outcome.unfinished_pulls = (
+            len(scenario.schedule) - outcome.pulls - outcome.skipped_pulls
+        )
+        if churn_process is not None:
+            outcome.departures = churn_process.departures
+            outcome.rejoins = churn_process.rejoins
+        if self.discovery is not None:
+            outcome.gossip_rounds = self.discovery.rounds
+            # Replicator-side misses are metered on the backend, not on
+            # any pull result; fold the total in so the outcome's
+            # counter matches the swarm-wide one.
+            outcome.stale_peer_misses = self.discovery.stale_misses
+        return outcome

@@ -1,0 +1,523 @@
+"""Typed, validated, serializable scenario specifications.
+
+Four PRs of registry-tier growth left every experiment re-wiring the
+same sixteen knobs by hand at each ``run_mode`` call site.  This module
+replaces that call-site wiring with small frozen dataclasses — one per
+concern — composed into a :class:`ScenarioSpec`:
+
+* :class:`TopologySpec`    — swarm size, regions, caches, NIC shaping
+* :class:`WorkloadSpec`    — what gets pulled, when (zipf / cold waves)
+* :class:`TransferSpec`    — analytic vs time-resolved, upload budgets
+* :class:`DiscoverySpec`   — omniscient vs gossip (fanout/period/cap)
+* :class:`ChurnSpec`       — stochastic membership (uptime/downtime)
+* :class:`ReplicationSpec` — the adaptive replicator's knobs
+* :class:`ChunkSpec`       — chunked multi-source pulls
+
+Every cross-field rule that used to live (or hide) inside ``run_mode``
+is enforced at *construction* time — an invalid combination can never
+reach the simulator:
+
+* chunked pulls require the time-resolved transfer model,
+* an upload budget is only meaningful with the time-resolved model,
+* gossip knobs are only accepted with the gossip backend,
+* a churn-aware replicator requires a churn process,
+* cold-wave workloads pull exactly once per device per wave.
+
+Specs round-trip losslessly through :meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict` (plain JSON-safe dicts), so sweeps,
+benchmarks, and the CLI's ``--set dotted.path=value`` overrides (see
+:func:`with_overrides`) are all data-driven.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..registry.chunks import DEFAULT_CHUNK_SIZE_BYTES
+from ..sim.churn import ChurnConfig
+from ..sim.rng import DEFAULT_SEED
+from ..sim.transfers import TransferModel
+
+#: The registry-chain configurations a scenario can run under.
+MODES = ("hub-only", "hybrid", "hybrid+p2p")
+
+#: The replica-lookup backends a scenario can use.
+DISCOVERY_BACKENDS = ("omniscient", "gossip")
+
+#: The pull-schedule shapes a workload can take.
+WORKLOAD_KINDS = ("zipf", "cold-waves")
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The physical swarm: devices, regions, caches, and NIC shaping.
+
+    The optional ``*_mbps`` knobs add shared endpoint links (the
+    contended-overlap scenarios use them): ``device_nic_mbps`` gives
+    every device a shared uplink *and* downlink of that capacity,
+    ``hub_egress_mbps`` / ``regional_egress_mbps`` cap the registries'
+    shared egress.  ``None`` (the default) leaves endpoints unshaped,
+    matching the original layer-sharing scenario.
+    """
+
+    n_devices: int = 12
+    n_regions: int = 3
+    cache_gb: float = 12.0
+    device_nic_mbps: Optional[float] = None
+    hub_egress_mbps: Optional[float] = None
+    regional_egress_mbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 2:
+            raise ValueError("a swarm needs at least 2 devices")
+        if self.n_regions < 1:
+            raise ValueError(f"n_regions must be >= 1, got {self.n_regions}")
+        _require_positive("cache_gb", self.cache_gb)
+        for name in ("device_nic_mbps", "hub_egress_mbps",
+                     "regional_egress_mbps"):
+            value = getattr(self, name)
+            if value is not None:
+                _require_positive(name, value)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the swarm pulls, and when.
+
+    ``kind="zipf"`` is the layer-sharing workload: Zipf-skewed demand
+    over the image catalogue with exponential arrivals,
+    ``pulls_per_device`` pulls each.  ``kind="cold-waves"`` is the
+    contended-overlap workload: every device pulls the *same* image
+    nearly simultaneously (``stagger_s`` apart), then a sibling image
+    (shared base) one half-horizon later — one pull per device per
+    wave, so ``pulls_per_device`` must be 1 and ``stagger_s`` is
+    required (and meaningless for zipf).
+    """
+
+    kind: str = "zipf"
+    n_images: int = 6
+    pulls_per_device: int = 4
+    horizon_s: float = 3600.0
+    stagger_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; expected one of "
+                f"{WORKLOAD_KINDS}"
+            )
+        if self.n_images < 1:
+            raise ValueError(f"n_images must be >= 1, got {self.n_images}")
+        if self.pulls_per_device < 1:
+            raise ValueError(
+                f"pulls_per_device must be >= 1, got {self.pulls_per_device}"
+            )
+        _require_positive("horizon_s", self.horizon_s)
+        if self.kind == "cold-waves":
+            if self.n_images < 2:
+                raise ValueError(
+                    "cold-waves needs n_images >= 2 (the second wave pulls "
+                    "a sibling image)"
+                )
+            if self.pulls_per_device != 1:
+                raise ValueError(
+                    "cold-waves schedules exactly one pull per device per "
+                    f"wave; set pulls_per_device=1 "
+                    f"(got {self.pulls_per_device})"
+                )
+            if self.stagger_s is None:
+                object.__setattr__(self, "stagger_s", 1.0)
+            _require_positive("stagger_s", self.stagger_s)
+        elif self.stagger_s is not None:
+            raise ValueError(
+                "stagger_s only applies to the cold-waves workload "
+                f"(kind={self.kind!r})"
+            )
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """How bytes become elapsed time.
+
+    ``model="analytic"`` keeps the paper's instant-admission
+    accounting; ``"time-resolved"`` drives every pull through the
+    shared-bandwidth :class:`~repro.sim.transfers.TransferEngine`.
+    ``upload_budget`` caps concurrent uploads per device and is only
+    meaningful (and only accepted) with the time-resolved model — the
+    analytic model has no engine to enforce it.
+    """
+
+    model: TransferModel = TransferModel.ANALYTIC
+    upload_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model, TransferModel):
+            object.__setattr__(
+                self, "model", _parse_transfer_model(self.model)
+            )
+        if self.upload_budget is not None:
+            if self.upload_budget < 1:
+                raise ValueError(
+                    f"upload_budget must be >= 1, got {self.upload_budget}"
+                )
+            if self.model is not TransferModel.TIME_RESOLVED:
+                raise ValueError(
+                    "upload_budget needs the time-resolved transfer model "
+                    "(the analytic model has no engine to enforce it)"
+                )
+
+    @property
+    def time_resolved(self) -> bool:
+        return self.model is TransferModel.TIME_RESOLVED
+
+
+def _parse_transfer_model(value: Any) -> TransferModel:
+    """Accept enum members, ``"time-resolved"``, and ``"time_resolved"``."""
+    if isinstance(value, TransferModel):
+        return value
+    try:
+        return TransferModel(str(value).replace("_", "-"))
+    except ValueError:
+        raise ValueError(
+            f"unknown transfer model {value!r}; expected one of "
+            f"{tuple(m.value for m in TransferModel)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DiscoverySpec:
+    """How devices learn which peers hold which layers.
+
+    The gossip knobs (``gossip_fanout`` / ``gossip_period_s`` /
+    ``gossip_view_cap``) are only accepted with ``backend="gossip"``;
+    under gossip, unset knobs are normalised to the historical defaults
+    (fanout 2, period 60 s, view cap 8) so equal configurations compare
+    equal after round-tripping.
+    """
+
+    backend: str = "omniscient"
+    gossip_fanout: Optional[int] = None
+    gossip_period_s: Optional[float] = None
+    gossip_view_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in DISCOVERY_BACKENDS:
+            raise ValueError(
+                f"unknown discovery {self.backend!r}; expected one of "
+                f"{DISCOVERY_BACKENDS}"
+            )
+        if self.backend == "gossip":
+            if self.gossip_fanout is None:
+                object.__setattr__(self, "gossip_fanout", 2)
+            if self.gossip_period_s is None:
+                object.__setattr__(self, "gossip_period_s", 60.0)
+            if self.gossip_view_cap is None:
+                object.__setattr__(self, "gossip_view_cap", 8)
+            if self.gossip_fanout < 1:
+                raise ValueError(
+                    f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
+                )
+            _require_positive("gossip_period_s", self.gossip_period_s)
+            if self.gossip_view_cap < 1:
+                raise ValueError(
+                    f"gossip_view_cap must be >= 1, got {self.gossip_view_cap}"
+                )
+        else:
+            set_knobs = [
+                name
+                for name in ("gossip_fanout", "gossip_period_s",
+                             "gossip_view_cap")
+                if getattr(self, name) is not None
+            ]
+            if set_knobs:
+                raise ValueError(
+                    f"{set_knobs} only apply to the gossip discovery "
+                    f"backend (backend={self.backend!r})"
+                )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Stochastic membership: seeded exponential online/offline cycling.
+
+    Mirrors :class:`~repro.sim.churn.ChurnConfig` (and validates by
+    constructing one), so a spec'd regime is exactly a runnable one.
+    """
+
+    mean_uptime_s: float = 600.0
+    mean_downtime_s: float = 120.0
+    min_online: int = 2
+
+    def __post_init__(self) -> None:
+        self.to_config()  # ChurnConfig carries the validation
+
+    def to_config(self) -> ChurnConfig:
+        return ChurnConfig(
+            mean_uptime_s=self.mean_uptime_s,
+            mean_downtime_s=self.mean_downtime_s,
+            min_online=self.min_online,
+        )
+
+    @classmethod
+    def from_config(cls, config: ChurnConfig) -> "ChurnSpec":
+        return cls(
+            mean_uptime_s=config.mean_uptime_s,
+            mean_downtime_s=config.mean_downtime_s,
+            min_online=config.min_online,
+        )
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """The adaptive replicator's knobs (hybrid+p2p mode only).
+
+    ``churn_aware=True`` hands the scenario's churn process to the
+    replicator so replica targets weight holders by observed session
+    lengths — it therefore requires the scenario to define churn
+    (enforced by :class:`ScenarioSpec`).
+    """
+
+    interval_s: float = 120.0
+    hot_threshold: float = 3.0
+    target_replicas: int = 2
+    churn_aware: bool = False
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("hot_threshold", self.hot_threshold)
+        if self.target_replicas < 1:
+            raise ValueError(
+                f"target_replicas must be >= 1, got {self.target_replicas}"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """Chunked multi-source pulls (BitTorrent-style swarm scheduling).
+
+    ``enabled=True`` requires the time-resolved transfer model — the
+    analytic model has no notion of a partially transferred layer
+    (enforced by :class:`ScenarioSpec`).
+    """
+
+    enabled: bool = False
+    size_bytes: int = DEFAULT_CHUNK_SIZE_BYTES
+    parallel: int = 4
+
+    def __post_init__(self) -> None:
+        _require_positive("size_bytes", self.size_bytes)
+        if self.parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {self.parallel}")
+
+
+#: Sub-spec classes by ScenarioSpec field name, shared by the generic
+#: (de)serialisation below.
+_SECTIONS: Dict[str, type] = {
+    "topology": TopologySpec,
+    "workload": WorkloadSpec,
+    "transfer": TransferSpec,
+    "discovery": DiscoverySpec,
+    "churn": ChurnSpec,
+    "replication": ReplicationSpec,
+    "chunks": ChunkSpec,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully described simulation run.
+
+    Composes the seven concern specs with the registry-chain ``mode``
+    and the root ``seed``.  All cross-section rules are enforced here,
+    at construction, so an invalid combination raises immediately —
+    never mid-run:
+
+    * ``chunks.enabled`` requires ``transfer.model == TIME_RESOLVED``,
+    * ``replication.churn_aware`` requires a ``churn`` section.
+
+    Use :func:`dataclasses.replace` to derive variants (``replace(spec,
+    mode="hybrid")``), :func:`with_overrides` for dotted-path string
+    overrides, and :meth:`to_dict` / :meth:`from_dict` to serialise.
+    """
+
+    mode: str = "hybrid+p2p"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    transfer: TransferSpec = field(default_factory=TransferSpec)
+    discovery: DiscoverySpec = field(default_factory=DiscoverySpec)
+    churn: Optional[ChurnSpec] = None
+    replication: ReplicationSpec = field(default_factory=ReplicationSpec)
+    chunks: ChunkSpec = field(default_factory=ChunkSpec)
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.chunks.enabled and not self.transfer.time_resolved:
+            raise ValueError(
+                "chunked pulls need TransferModel.TIME_RESOLVED (the "
+                "analytic model has no notion of a partially transferred "
+                "layer)"
+            )
+        if self.replication.churn_aware and self.churn is None:
+            raise ValueError(
+                "replication.churn_aware needs a churn section — there is "
+                "no churn process to learn session lengths from"
+            )
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, JSON-safe dict that :meth:`from_dict` inverts."""
+        data: Dict[str, Any] = {"mode": self.mode, "seed": self.seed}
+        for name in _SECTIONS:
+            section = getattr(self, name)
+            data[name] = None if section is None else _section_to_dict(section)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Missing keys take their defaults (so hand-written partial dicts
+        work); unknown keys raise — a typo'd knob must never be
+        silently ignored.
+        """
+        unknown = set(data) - set(_SECTIONS) - {"mode", "seed"}
+        if unknown:
+            raise ValueError(f"unknown ScenarioSpec keys {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for key in ("mode", "seed"):
+            if key in data:
+                kwargs[key] = data[key]
+        for name, section_cls in _SECTIONS.items():
+            if name not in data:
+                continue
+            section = data[name]
+            if section is None:
+                if name != "churn":
+                    raise ValueError(f"section {name!r} cannot be null")
+                kwargs[name] = None
+            else:
+                kwargs[name] = _section_from_dict(section_cls, section)
+        return cls(**kwargs)
+
+
+def _section_to_dict(section: Any) -> Dict[str, Any]:
+    data = {}
+    for f in fields(section):
+        value = getattr(section, f.name)
+        data[f.name] = value.value if isinstance(value, TransferModel) else value
+    return data
+
+
+def _section_from_dict(section_cls: type, data: Mapping[str, Any]) -> Any:
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{section_cls.__name__} section must be a mapping, "
+            f"got {type(data).__name__}"
+        )
+    known = {f.name for f in fields(section_cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {section_cls.__name__} keys {sorted(unknown)}"
+        )
+    # String transfer models parse inside TransferSpec.__post_init__,
+    # so the deserializer stays fully generic.
+    return section_cls(**data)
+
+
+# ----------------------------------------------------------------------
+# dotted-path overrides (the CLI's --set flag)
+# ----------------------------------------------------------------------
+def _parse_override_value(raw: str) -> Any:
+    """``"600"`` → 600, ``"true"`` → True, ``"none"`` → None, else str."""
+    lowered = raw.strip().lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return json.loads(raw)
+    except (ValueError, TypeError):
+        return raw
+
+
+def with_overrides(
+    spec: ScenarioSpec, assignments: Mapping[str, Any]
+) -> ScenarioSpec:
+    """``spec`` with dotted-path overrides applied and re-validated.
+
+    Keys are ``section.field`` (or bare ``mode`` / ``seed`` /
+    ``churn``); string values are parsed as JSON scalars where possible
+    (``"none"``/``"null"`` clear, e.g. ``churn=none`` drops churn).
+    Setting any ``churn.*`` field on a churn-less spec creates a
+    default :class:`ChurnSpec` first.  The result passes through
+    :meth:`ScenarioSpec.from_dict`, so every cross-field rule still
+    applies — an override can never smuggle in an invalid combination.
+    """
+    data = spec.to_dict()
+    for path, raw in assignments.items():
+        value = _parse_override_value(raw) if isinstance(raw, str) else raw
+        parts = path.split(".")
+        if len(parts) == 1:
+            key = parts[0]
+            if key not in data:
+                raise ValueError(
+                    f"unknown override path {path!r}; top-level keys are "
+                    f"{sorted(data)}"
+                )
+            if key in _SECTIONS and value is not None:
+                raise ValueError(
+                    f"section {key!r} can only be cleared (=none); set its "
+                    f"fields via {key}.<field>=<value>"
+                )
+            data[key] = value
+        elif len(parts) == 2:
+            section, fname = parts
+            if section not in _SECTIONS:
+                raise ValueError(
+                    f"unknown override section {section!r}; expected one of "
+                    f"{sorted(_SECTIONS)}"
+                )
+            if fname not in {f.name for f in fields(_SECTIONS[section])}:
+                raise ValueError(
+                    f"unknown field {fname!r} of section {section!r}; "
+                    f"expected one of "
+                    f"{sorted(f.name for f in fields(_SECTIONS[section]))}"
+                )
+            if data[section] is None:
+                data[section] = {}
+            data[section][fname] = value
+        else:
+            raise ValueError(
+                f"override path {path!r} nests too deep; expected "
+                f"section.field"
+            )
+    return ScenarioSpec.from_dict(data)
+
+
+def parse_set_flags(flags: Tuple[str, ...]) -> Dict[str, str]:
+    """Split CLI ``--set path=value`` strings into an override mapping."""
+    assignments: Dict[str, str] = {}
+    for flag in flags:
+        path, eq, value = flag.partition("=")
+        if not eq or not path:
+            raise ValueError(
+                f"bad --set {flag!r}; expected section.field=value"
+            )
+        assignments[path.strip()] = value
+    return assignments

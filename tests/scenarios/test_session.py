@@ -1,0 +1,223 @@
+"""SimulationSession: assembly, equivalence with the legacy path, and
+the deprecated ``run_mode`` shim.
+
+The headline guarantees: (1) a session run is field-for-field
+identical to the historical ``run_mode`` wiring on every configuration
+axis (transfer model, discovery, churn, chunking), and (2) the shim
+still honours the legacy keyword semantics while warning.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import scenarios
+from repro.experiments import p2p
+from repro.scenarios import (
+    ChunkSpec,
+    ChurnSpec,
+    DiscoverySpec,
+    ScenarioSpec,
+    SimulationSession,
+    TopologySpec,
+    TransferSpec,
+    WorkloadSpec,
+    build_swarm_scenario,
+)
+from repro.sim.transfers import TransferModel
+
+
+def _small_spec(**kwargs) -> ScenarioSpec:
+    kwargs.setdefault("topology", TopologySpec(n_devices=6, n_regions=2))
+    kwargs.setdefault(
+        "workload", WorkloadSpec(kind="zipf", n_images=4, pulls_per_device=3)
+    )
+    return ScenarioSpec(**kwargs)
+
+
+def _outcome_key(outcome) -> dict:
+    data = outcome.to_dict()
+    data.pop("replicator")  # live-object summary, compared separately
+    return data
+
+
+class TestAssembly:
+    def test_components_exposed_after_construction(self):
+        session = SimulationSession(_small_spec(
+            transfer=TransferSpec(model=TransferModel.TIME_RESOLVED),
+            discovery=DiscoverySpec(backend="gossip"),
+            churn=ChurnSpec(),
+        ))
+        assert session.engine is not None
+        assert session.discovery is not None
+        assert session.churn_process is not None
+        assert session.replicator is not None
+        assert set(session.caches) == {
+            dev.name for dev in session.scenario.devices
+        }
+        assert session.facade.name == "hybrid+p2p"
+
+    def test_peerless_modes_carry_no_replicator(self):
+        session = SimulationSession(_small_spec(mode="hybrid"))
+        assert session.replicator is None
+        assert session.facade.planner.use_peers is False
+
+    def test_hub_only_chain_is_single_tier(self):
+        session = SimulationSession(_small_spec(mode="hub-only"))
+        assert [r.name for r in session.facade.registries] == ["docker-hub"]
+
+    def test_sessions_are_single_use(self):
+        session = SimulationSession(_small_spec())
+        session.run()
+        with pytest.raises(RuntimeError, match="single-use"):
+            session.run()
+
+    def test_prebuilt_scenario_seed_must_match(self):
+        spec = _small_spec(seed=3)
+        scenario = build_swarm_scenario(spec)
+        with pytest.raises(ValueError, match="seed"):
+            SimulationSession(
+                dataclasses.replace(spec, seed=4), scenario=scenario
+            )
+
+
+class TestLegacyEquivalence:
+    """New-API outputs pinned to the legacy ``run_mode`` path."""
+
+    CASES = {
+        "analytic-omniscient": dict(),
+        "time-resolved": dict(
+            transfer=TransferSpec(
+                model=TransferModel.TIME_RESOLVED, upload_budget=2
+            ),
+        ),
+        "gossip-churn": dict(
+            discovery=DiscoverySpec(backend="gossip", gossip_period_s=120.0),
+            churn=ChurnSpec(
+                mean_uptime_s=400.0, mean_downtime_s=200.0, min_online=3
+            ),
+        ),
+        "chunked": dict(
+            transfer=TransferSpec(
+                model=TransferModel.TIME_RESOLVED, upload_budget=2
+            ),
+            chunks=ChunkSpec(enabled=True, size_bytes=16_000_000),
+        ),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_session_matches_run_mode(self, case):
+        kwargs = self.CASES[case]
+        spec = _small_spec(**kwargs)
+        scenario = build_swarm_scenario(spec)
+        legacy_kwargs = dict(
+            transfer_model=spec.transfer.model,
+            upload_budget=spec.transfer.upload_budget,
+            discovery=spec.discovery.backend,
+            churn=None if spec.churn is None else spec.churn.to_config(),
+            chunked=spec.chunks.enabled,
+            chunk_size_bytes=spec.chunks.size_bytes,
+        )
+        if spec.discovery.backend == "gossip":
+            legacy_kwargs.update(
+                gossip_fanout=spec.discovery.gossip_fanout,
+                gossip_period_s=spec.discovery.gossip_period_s,
+                gossip_view_cap=spec.discovery.gossip_view_cap,
+            )
+        with pytest.deprecated_call():
+            legacy = p2p.run_mode(scenario, spec.mode, **legacy_kwargs)
+        fresh = SimulationSession(spec).run()
+        assert _outcome_key(fresh) == _outcome_key(legacy)
+        assert (fresh.to_dict()["replicator"] is None) == (
+            legacy.to_dict()["replicator"] is None
+        )
+
+    def test_spec_built_scenario_matches_legacy_builders(self):
+        spec = _small_spec(seed=11)
+        new = build_swarm_scenario(spec)
+        old = p2p.build_scenario(
+            n_devices=6, n_images=4, pulls_per_device=3, n_regions=2, seed=11
+        )
+        assert [d.name for d in new.devices] == [d.name for d in old.devices]
+        assert new.schedule == old.schedule
+
+        contended_spec = ScenarioSpec(
+            topology=TopologySpec(
+                n_devices=4,
+                n_regions=2,
+                device_nic_mbps=400.0,
+                hub_egress_mbps=500.0,
+                regional_egress_mbps=300.0,
+            ),
+            workload=WorkloadSpec(
+                kind="cold-waves", n_images=2, pulls_per_device=1,
+                stagger_s=2.0,
+            ),
+        )
+        new_contended = build_swarm_scenario(contended_spec)
+        old_contended = p2p.build_contended_scenario(
+            n_devices=4, n_regions=2, stagger_s=2.0
+        )
+        assert new_contended.schedule == old_contended.schedule
+
+
+class TestRunModeShim:
+    def test_run_mode_warns_deprecation(self):
+        scenario = p2p.build_scenario(n_devices=4, n_images=3)
+        with pytest.deprecated_call():
+            p2p.run_mode(scenario, "hybrid")
+
+    def test_legacy_upload_budget_ignored_under_analytic(self):
+        # The historical signature accepted (and ignored) an upload
+        # budget with the analytic model; the shim must not let the
+        # spec validation reject it.
+        scenario = p2p.build_scenario(n_devices=4, n_images=3)
+        with pytest.deprecated_call():
+            outcome = p2p.run_mode(scenario, "hybrid", upload_budget=2)
+        assert outcome.pulls == len(scenario.schedule)
+
+    def test_legacy_churn_aware_without_churn_is_noop(self):
+        scenario = p2p.build_scenario(n_devices=4, n_images=3)
+        with pytest.deprecated_call():
+            outcome = p2p.run_mode(
+                scenario, "hybrid+p2p", replicator_churn_aware=True
+            )
+        assert outcome.pulls == len(scenario.schedule)
+
+    def test_legacy_gossip_knobs_ignored_under_omniscient(self):
+        scenario = p2p.build_scenario(n_devices=4, n_images=3)
+        with pytest.deprecated_call():
+            outcome = p2p.run_mode(scenario, "hybrid+p2p", gossip_fanout=7)
+        assert outcome.gossip_rounds == 0
+
+
+class TestModeOutcomeDict:
+    def test_to_dict_is_json_safe_and_complete(self):
+        import json
+
+        outcome = SimulationSession(_small_spec()).run()
+        data = outcome.to_dict()
+        json.dumps(data)
+        assert data["pulls"] == outcome.pulls
+        assert data["origin_bytes"] == outcome.origin_bytes
+        assert data["hit_ratio"] == outcome.hit_ratio
+        assert data["replicator"]["converged"] in (True, False)
+
+    def test_peerless_outcome_reports_null_replicator(self):
+        outcome = SimulationSession(_small_spec(mode="hybrid")).run()
+        assert outcome.to_dict()["replicator"] is None
+
+
+class TestPresetSessions:
+    def test_preset_variant_runs_end_to_end(self):
+        # A preset shrunk via overrides must assemble and run whole.
+        spec = scenarios.with_overrides(scenarios.get("p2p-gossip"), {
+            "topology.n_devices": 6,
+            "topology.n_regions": 2,
+            "workload.n_images": 3,
+            "workload.pulls_per_device": 2,
+            "churn.min_online": 2,
+        })
+        outcome = SimulationSession(spec).run()
+        assert outcome.pulls + outcome.skipped_pulls == 12
+        assert outcome.gossip_rounds > 0

@@ -1,0 +1,375 @@
+"""Scenario specs: construction-time validation, round-tripping,
+presets, and dotted overrides.
+
+The contract under test: an invalid cross-field combination can never
+reach the simulator — every one raises at spec *construction* — and a
+valid spec survives ``from_dict(to_dict(spec)) == spec`` losslessly
+(pinned as a Hypothesis property over the whole spec space).
+"""
+
+import json
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import scenarios
+from repro.scenarios import (
+    ChunkSpec,
+    ChurnSpec,
+    DiscoverySpec,
+    ReplicationSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TransferSpec,
+    WorkloadSpec,
+    with_overrides,
+)
+from repro.scenarios.spec import parse_set_flags
+from repro.sim.churn import ChurnConfig
+from repro.sim.transfers import TransferModel
+
+
+class TestSectionValidation:
+    def test_specs_are_frozen(self):
+        spec = ScenarioSpec()
+        with pytest.raises(FrozenInstanceError):
+            spec.mode = "hybrid"
+        with pytest.raises(FrozenInstanceError):
+            spec.topology.n_devices = 99
+
+    def test_swarm_needs_two_devices(self):
+        with pytest.raises(ValueError, match="at least 2 devices"):
+            TopologySpec(n_devices=1)
+
+    def test_nic_shaping_must_be_positive(self):
+        with pytest.raises(ValueError, match="device_nic_mbps"):
+            TopologySpec(device_nic_mbps=0.0)
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ValueError, match="workload kind"):
+            WorkloadSpec(kind="bursty")
+
+    def test_cold_waves_need_a_sibling_image(self):
+        with pytest.raises(ValueError, match="n_images >= 2"):
+            WorkloadSpec(kind="cold-waves", n_images=1, pulls_per_device=1)
+
+    def test_cold_waves_pull_once_per_device(self):
+        with pytest.raises(ValueError, match="pulls_per_device"):
+            WorkloadSpec(kind="cold-waves", n_images=2, pulls_per_device=4)
+
+    def test_stagger_only_applies_to_cold_waves(self):
+        with pytest.raises(ValueError, match="stagger_s"):
+            WorkloadSpec(kind="zipf", stagger_s=5.0)
+
+    def test_cold_waves_default_stagger_normalised(self):
+        spec = WorkloadSpec(kind="cold-waves", n_images=2, pulls_per_device=1)
+        assert spec.stagger_s == 1.0
+
+    def test_upload_budget_needs_time_resolved(self):
+        with pytest.raises(ValueError, match="time-resolved"):
+            TransferSpec(model=TransferModel.ANALYTIC, upload_budget=2)
+
+    def test_transfer_model_parses_underscore_alias(self):
+        assert (
+            TransferSpec(model="time_resolved").model
+            is TransferModel.TIME_RESOLVED
+        )
+        assert TransferSpec(model="analytic").model is TransferModel.ANALYTIC
+        with pytest.raises(ValueError, match="transfer model"):
+            TransferSpec(model="psychic")
+
+    def test_unknown_discovery_rejected(self):
+        with pytest.raises(ValueError, match="discovery"):
+            DiscoverySpec(backend="psychic")
+
+    def test_gossip_knobs_need_the_gossip_backend(self):
+        with pytest.raises(ValueError, match="gossip"):
+            DiscoverySpec(backend="omniscient", gossip_fanout=4)
+        with pytest.raises(ValueError, match="gossip"):
+            DiscoverySpec(backend="omniscient", gossip_period_s=30.0)
+
+    def test_gossip_defaults_normalised(self):
+        spec = DiscoverySpec(backend="gossip")
+        assert (spec.gossip_fanout, spec.gossip_period_s,
+                spec.gossip_view_cap) == (2, 60.0, 8)
+
+    def test_churn_spec_validates_like_churn_config(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(mean_uptime_s=0.0)
+        with pytest.raises(ValueError):
+            ChurnSpec(min_online=0)
+        config = ChurnSpec(mean_uptime_s=50.0, min_online=3).to_config()
+        assert isinstance(config, ChurnConfig)
+        assert (config.mean_uptime_s, config.min_online) == (50.0, 3)
+        assert ChurnSpec.from_config(config) == ChurnSpec(
+            mean_uptime_s=50.0, min_online=3
+        )
+
+    def test_replication_knobs_positive(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            ReplicationSpec(interval_s=0.0)
+        with pytest.raises(ValueError, match="target_replicas"):
+            ReplicationSpec(target_replicas=0)
+
+    def test_chunk_knobs_positive(self):
+        with pytest.raises(ValueError, match="size_bytes"):
+            ChunkSpec(size_bytes=0)
+        with pytest.raises(ValueError, match="parallel"):
+            ChunkSpec(parallel=0)
+
+
+class TestCrossSectionValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ScenarioSpec(mode="p2p-only")
+
+    def test_chunked_needs_time_resolved(self):
+        with pytest.raises(ValueError, match="TIME_RESOLVED"):
+            ScenarioSpec(chunks=ChunkSpec(enabled=True))
+        # ... and is accepted with it
+        spec = ScenarioSpec(
+            transfer=TransferSpec(model=TransferModel.TIME_RESOLVED),
+            chunks=ChunkSpec(enabled=True),
+        )
+        assert spec.chunks.enabled
+
+    def test_churn_aware_replication_needs_churn(self):
+        with pytest.raises(ValueError, match="churn"):
+            ScenarioSpec(replication=ReplicationSpec(churn_aware=True))
+        spec = ScenarioSpec(
+            churn=ChurnSpec(),
+            replication=ReplicationSpec(churn_aware=True),
+        )
+        assert spec.replication.churn_aware
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            ScenarioSpec(seed=-1)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: the whole valid spec space round-trips losslessly
+# ----------------------------------------------------------------------
+def _workloads():
+    zipf = st.builds(
+        WorkloadSpec,
+        kind=st.just("zipf"),
+        n_images=st.integers(1, 16),
+        pulls_per_device=st.integers(1, 8),
+        horizon_s=st.floats(60.0, 7200.0, allow_nan=False),
+    )
+    waves = st.builds(
+        WorkloadSpec,
+        kind=st.just("cold-waves"),
+        n_images=st.integers(2, 8),
+        pulls_per_device=st.just(1),
+        horizon_s=st.floats(60.0, 7200.0, allow_nan=False),
+        stagger_s=st.one_of(
+            st.none(), st.floats(0.1, 30.0, allow_nan=False)
+        ),
+    )
+    return st.one_of(zipf, waves)
+
+
+def _discoveries():
+    omniscient = st.just(DiscoverySpec())
+    gossip = st.builds(
+        DiscoverySpec,
+        backend=st.just("gossip"),
+        gossip_fanout=st.one_of(st.none(), st.integers(1, 8)),
+        gossip_period_s=st.one_of(
+            st.none(), st.floats(1.0, 600.0, allow_nan=False)
+        ),
+        gossip_view_cap=st.one_of(st.none(), st.integers(1, 32)),
+    )
+    return st.one_of(omniscient, gossip)
+
+
+def _transfers_and_chunks():
+    analytic = st.just(
+        (TransferSpec(model=TransferModel.ANALYTIC), ChunkSpec())
+    )
+    time_resolved = st.tuples(
+        st.builds(
+            TransferSpec,
+            model=st.just(TransferModel.TIME_RESOLVED),
+            upload_budget=st.one_of(st.none(), st.integers(1, 8)),
+        ),
+        st.builds(
+            ChunkSpec,
+            enabled=st.booleans(),
+            size_bytes=st.integers(1_000_000, 128_000_000),
+            parallel=st.integers(1, 8),
+        ),
+    )
+    return st.one_of(analytic, time_resolved)
+
+
+def _churn_and_replication():
+    churnless = st.tuples(
+        st.none(),
+        st.builds(
+            ReplicationSpec,
+            interval_s=st.floats(1.0, 600.0, allow_nan=False),
+            hot_threshold=st.floats(0.5, 10.0, allow_nan=False),
+            target_replicas=st.integers(1, 4),
+            churn_aware=st.just(False),
+        ),
+    )
+    churned = st.tuples(
+        st.builds(
+            ChurnSpec,
+            mean_uptime_s=st.floats(1.0, 3600.0, allow_nan=False),
+            mean_downtime_s=st.floats(1.0, 3600.0, allow_nan=False),
+            min_online=st.integers(1, 8),
+        ),
+        st.builds(
+            ReplicationSpec,
+            churn_aware=st.booleans(),
+        ),
+    )
+    return st.one_of(churnless, churned)
+
+
+@st.composite
+def scenario_specs(draw):
+    transfer, chunks = draw(_transfers_and_chunks())
+    churn, replication = draw(_churn_and_replication())
+    return ScenarioSpec(
+        mode=draw(st.sampled_from(scenarios.MODES)),
+        topology=draw(st.builds(
+            TopologySpec,
+            n_devices=st.integers(2, 64),
+            n_regions=st.integers(1, 8),
+            cache_gb=st.floats(1.0, 64.0, allow_nan=False),
+            device_nic_mbps=st.one_of(
+                st.none(), st.floats(10.0, 1000.0, allow_nan=False)
+            ),
+        )),
+        workload=draw(_workloads()),
+        transfer=transfer,
+        discovery=draw(_discoveries()),
+        churn=churn,
+        replication=replication,
+        chunks=chunks,
+        seed=draw(st.integers(0, 2**31 - 1)),
+    )
+
+
+class TestRoundTrip:
+    @given(spec=scenario_specs())
+    @settings(max_examples=100, deadline=None)
+    def test_from_dict_inverts_to_dict(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=scenario_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_to_dict_is_json_safe(self, spec):
+        payload = json.dumps(spec.to_dict())
+        assert ScenarioSpec.from_dict(json.loads(payload)) == spec
+
+    def test_partial_dict_fills_defaults(self):
+        spec = ScenarioSpec.from_dict({"mode": "hybrid"})
+        assert spec == ScenarioSpec(mode="hybrid")
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec keys"):
+            ScenarioSpec.from_dict({"modes": "hybrid"})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ValueError, match="TopologySpec"):
+            ScenarioSpec.from_dict({"topology": {"devices": 4}})
+
+    def test_null_section_only_for_churn(self):
+        assert ScenarioSpec.from_dict({"churn": None}).churn is None
+        with pytest.raises(ValueError, match="cannot be null"):
+            ScenarioSpec.from_dict({"transfer": None})
+
+    def test_transfer_model_serialises_as_value(self):
+        spec = ScenarioSpec(
+            transfer=TransferSpec(model=TransferModel.TIME_RESOLVED)
+        )
+        assert spec.to_dict()["transfer"]["model"] == "time-resolved"
+
+
+class TestOverrides:
+    def test_dotted_override_resolves_and_parses(self):
+        spec = with_overrides(ScenarioSpec(), {
+            "transfer.model": "time-resolved",
+            "transfer.upload_budget": "2",
+            "topology.n_devices": "24",
+            "mode": "hybrid",
+        })
+        assert spec.transfer.model is TransferModel.TIME_RESOLVED
+        assert spec.transfer.upload_budget == 2
+        assert spec.topology.n_devices == 24
+        assert spec.mode == "hybrid"
+
+    def test_churn_section_created_on_demand(self):
+        base = ScenarioSpec()
+        assert base.churn is None
+        spec = with_overrides(base, {"churn.mean_uptime_s": "600"})
+        assert spec.churn == ChurnSpec(mean_uptime_s=600)
+
+    def test_churn_clearable_with_none(self):
+        base = ScenarioSpec(churn=ChurnSpec())
+        assert with_overrides(base, {"churn": "none"}).churn is None
+
+    def test_override_cannot_bypass_validation(self):
+        with pytest.raises(ValueError, match="TIME_RESOLVED"):
+            with_overrides(ScenarioSpec(), {"chunks.enabled": "true"})
+
+    def test_unknown_paths_rejected(self):
+        with pytest.raises(ValueError, match="unknown override section"):
+            with_overrides(ScenarioSpec(), {"nonsense.field": "1"})
+        with pytest.raises(ValueError, match="unknown field"):
+            with_overrides(ScenarioSpec(), {"topology.devices": "4"})
+        with pytest.raises(ValueError, match="too deep"):
+            with_overrides(ScenarioSpec(), {"a.b.c": "1"})
+
+    def test_parse_set_flags(self):
+        assert parse_set_flags(("a.b=1", "c.d=x=y")) == {
+            "a.b": "1", "c.d": "x=y",
+        }
+        with pytest.raises(ValueError, match="bad --set"):
+            parse_set_flags(("no-equals-sign",))
+
+
+class TestPresets:
+    def test_every_historical_family_has_a_preset(self):
+        for name in ("p2p", "p2p-contended", "p2p-gossip", "p2p-chunked"):
+            assert name in scenarios.names()
+
+    def test_presets_are_valid_and_fresh(self):
+        for name in scenarios.names():
+            first, second = scenarios.get(name), scenarios.get(name)
+            assert first == second
+            assert first is not second  # factories, not shared singletons
+            # each preset round-trips like any other spec
+            assert ScenarioSpec.from_dict(first.to_dict()) == first
+
+    def test_unknown_preset_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="p2p-gossip"):
+            scenarios.get("nope")
+
+    def test_experiments_attached_per_family(self):
+        assert set(scenarios.experiment_names()) == {
+            "p2p", "p2p-contended", "p2p-gossip", "p2p-chunked",
+        }
+        for name in scenarios.experiment_names():
+            assert callable(scenarios.experiment(name))
+
+    def test_chunked_preset_matches_experiment_defaults(self):
+        spec = scenarios.get("p2p-chunked")
+        assert spec.chunks == ChunkSpec(
+            enabled=True, size_bytes=16_000_000, parallel=4
+        )
+        assert spec.transfer.model is TransferModel.TIME_RESOLVED
+
+    def test_derived_variants_via_replace(self):
+        base = scenarios.get("p2p")
+        hybrid = replace(base, mode="hybrid")
+        assert hybrid.mode == "hybrid"
+        assert hybrid.topology == base.topology
