@@ -14,6 +14,11 @@ Three parts:
   *more* origin bytes than single-source, and reports wall time per
   cell: small chunks × large swarms is where the engine's rate
   recomputation cost shows (the chunk-size floor at scale).
+* **recompute-mode comparison** — the fine-chunk (8 MB) cell in both
+  ``full`` and ``incremental`` fair-share recompute modes: outcomes
+  must match exactly while incremental visits ≥10× fewer transfers at
+  1000 devices (the chunked-load acceptance check for the incremental
+  engine; ``--quick`` checks outcome equality on the small cell).
 * **contended cold-wave makespan** — the headline effect: every device
   pulls the same image nearly at once; chunked rarest-first scheduling
   over full + partial holders must beat the single-source makespan.
@@ -63,27 +68,33 @@ SWEEP_SIZES = (10, 100, 1000)
 CHUNK_SIZES = (8 * MB, 32 * MB, 128 * MB)
 
 
-def _sweep_cell(n_devices: int, chunk_size_bytes: int) -> dict:
+def _sweep_cell(
+    n_devices: int, chunk_size_bytes: int, recompute: str = "full"
+) -> dict:
     """One grid cell: single-source vs chunked on the same scenario."""
     base = _scenario_spec(
         n_devices,
         transfer=TransferSpec(
-            model=TransferModel.TIME_RESOLVED, upload_budget=4
+            model=TransferModel.TIME_RESOLVED,
+            upload_budget=4,
+            recompute=recompute,
         ),
     )
     scenario = build_swarm_scenario(base)
     single = SimulationSession(base, scenario=scenario).run()
     started = time.perf_counter()
-    chunked = SimulationSession(
+    session = SimulationSession(
         replace(base, chunks=ChunkSpec(
             enabled=True, size_bytes=chunk_size_bytes
         )),
         scenario=scenario,
-    ).run()
+    )
+    chunked = session.run()
     chunked_wall_s = time.perf_counter() - started
     return dict(
         devices=n_devices,
         chunk_mb=chunk_size_bytes // MB,
+        recompute=recompute,
         pulls=chunked.pulls,
         single_origin_gb=single.origin_bytes / BYTES_PER_GB,
         chunked_origin_gb=chunked.origin_bytes / BYTES_PER_GB,
@@ -91,15 +102,18 @@ def _sweep_cell(n_devices: int, chunk_size_bytes: int) -> dict:
         chunked_peer_gb=chunked.bytes_from_peers / BYTES_PER_GB,
         endgame_dupes=chunked.chunk_endgame_dupes,
         wasted_mb=chunked.bytes_wasted / MB,
+        visited=session.engine.transfers_visited,
         chunked_wall_s=chunked_wall_s,
     )
 
 
-def run_grid(sizes=SWEEP_SIZES, chunk_sizes=CHUNK_SIZES) -> list:
+def run_grid(
+    sizes=SWEEP_SIZES, chunk_sizes=CHUNK_SIZES, recompute: str = "full"
+) -> list:
     rows = []
     for n in sizes:
         for chunk_size in chunk_sizes:
-            rows.append(_sweep_cell(n, chunk_size))
+            rows.append(_sweep_cell(n, chunk_size, recompute=recompute))
     return rows
 
 
@@ -145,6 +159,42 @@ def check_grid(rows) -> None:
         # every pull finished: wasted bytes only appear under churn,
         # and this grid runs churn-free
         assert row["wasted_mb"] == 0, f"waste without churn: {row}"
+
+
+#: Minimum full/incremental ratio of recompute-visited transfers on
+#: the 1000-device fine-chunk cell — chunked pulls multiply transfer
+#: starts/finishes, so this is where closure-local recompute matters
+#: most (the acceptance criterion for the incremental engine).
+VISITED_RATIO_MIN = 10.0
+
+
+def check_recompute_modes(full_row, inc_row, min_ratio: float) -> None:
+    """Incremental recompute must do less work and change nothing else.
+
+    The two rows come from identical scenarios differing only in the
+    engine's recompute mode; incremental fair-share rates are
+    bit-identical to the full solve, so every outcome column must match
+    *exactly* while the engine visits ``min_ratio``× fewer transfers.
+    """
+    for key in (
+        "pulls",
+        "single_origin_gb",
+        "chunked_origin_gb",
+        "single_peer_gb",
+        "chunked_peer_gb",
+        "endgame_dupes",
+        "wasted_mb",
+    ):
+        assert full_row[key] == inc_row[key], (
+            f"recompute modes disagree on {key}: "
+            f"{full_row[key]} vs {inc_row[key]}"
+        )
+    ratio = full_row["visited"] / max(inc_row["visited"], 1)
+    assert ratio >= min_ratio, (
+        f"incremental recompute visited only {ratio:.1f}x fewer "
+        f"transfers than full on the {full_row['devices']}-device "
+        f"{full_row['chunk_mb']} MB cell (required: {min_ratio:.0f}x)"
+    )
 
 
 def check_makespan(row) -> None:
@@ -262,6 +312,30 @@ def main(argv=None) -> int:
     _print_rows(scale)
     check_grid(scale)
     print("scale OK: chunked swarm scheduling sustained 1000 devices")
+
+    # Recompute-mode differential on the fine-chunk (8 MB) cell: reuse
+    # the full-mode row already measured above and add the incremental
+    # twin.  --quick compares the small grid cell (outcome equality is
+    # the cheap CI sanity); the full run compares the 1000-device cell
+    # and requires the >=10x visited-work ratio.
+    if quick:
+        full_row = next(
+            r for r in grid if r["devices"] == 10 and r["chunk_mb"] == 8
+        )
+        inc_row = _sweep_cell(10, 8 * MB, recompute="incremental")
+        ratio_min = 1.0
+    else:
+        full_row = next(r for r in scale if r["chunk_mb"] == 8)
+        inc_row = _sweep_cell(1000, 8 * MB, recompute="incremental")
+        ratio_min = VISITED_RATIO_MIN
+    print("== recompute-mode comparison (fine-chunk cell) ==")
+    _print_rows([full_row, inc_row])
+    check_recompute_modes(full_row, inc_row, ratio_min)
+    print(
+        "recompute OK: identical outcomes, incremental visited "
+        f"{full_row['visited'] / max(inc_row['visited'], 1):.0f}x "
+        "fewer transfers"
+    )
 
     if quick:
         # The CI smoke job must also exercise this module's bench_*

@@ -3,20 +3,26 @@
 Times DEEP's Nash sweep as the device fleet and DAG grow — the knob
 the paper's two-device testbed never exercises.
 
-Run directly for the transfer-engine scaling sweep (``--quick``
-shrinks it for the CI smoke job)::
+Run directly for the transfer-engine scaling sweeps (``--quick``
+shrinks them for the CI smoke job)::
 
     PYTHONPATH=src python benchmarks/bench_scale.py [--quick]
 
-The sweep drives the time-resolved :class:`TransferEngine` with a
-steady pull stream over fleets of 10/100/1000 devices (bounded
-concurrency, as real arrival processes have) and checks wall time
-stays **sub-quadratic** in fleet size: fair-share recomputation costs
-``O(active transfers + involved links)`` per event, so with bounded
-concurrency the total is near-linear — a quadratic blow-up would mean
-the recompute started scanning idle state.
+Two sweeps run:
+
+* a steady pull stream through the bare :class:`TransferEngine` over
+  fleets of 10/100/1000 devices (bounded concurrency, as real arrival
+  processes have), checking wall time stays **sub-quadratic** in fleet
+  size, and
+* the ``p2p-swarm-scale`` preset's cold waves through the full
+  scenario stack, comparing the ``full`` and ``incremental`` recompute
+  modes at 1000 devices (same makespan, ≥10× fewer recompute-visited
+  transfers) and sustaining a **10k-device** swarm interactively under
+  a wall-time guard — the guard is what keeps the incremental-mode
+  scaling win from silently regressing in CI.
 """
 
+import dataclasses
 import sys
 import time
 from pathlib import Path
@@ -25,9 +31,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest  # noqa: E402
 
+from repro import scenarios  # noqa: E402
 from repro.core.baselines import GreedyEnergyScheduler  # noqa: E402
 from repro.core.scheduler import DeepScheduler  # noqa: E402
 from repro.model.network import NetworkModel  # noqa: E402
+from repro.scenarios.session import SimulationSession  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.sim.rng import RngRegistry  # noqa: E402
 from repro.sim.transfers import TransferEngine  # noqa: E402
@@ -75,7 +83,7 @@ _ENGINE_PAYLOAD_BYTES = 250_000_000  # 20 s at channel speed
 _ENGINE_SPACING_S = 2.0
 
 
-def _engine_run(n_devices: int) -> dict:
+def _engine_run(n_devices: int, recompute: str = "full") -> dict:
     """One steady pull stream through the engine; returns timings."""
     network = NetworkModel()
     for i in range(n_devices):
@@ -84,7 +92,7 @@ def _engine_run(n_devices: int) -> dict:
         network.set_downlink(name, _ENGINE_CHANNEL_MBPS * 2)
     network.set_uplink("origin", _ENGINE_UPLINK_MBPS)
     sim = Simulator()
-    engine = TransferEngine(sim, network)
+    engine = TransferEngine(sim, network, incremental=(recompute == "incremental"))
 
     def one(i: int, name: str):
         yield sim.timeout(i * _ENGINE_SPACING_S)
@@ -102,15 +110,17 @@ def _engine_run(n_devices: int) -> dict:
     assert engine.peak_oversubscription() <= 1.0 + 1e-9
     return dict(
         devices=n_devices,
+        recompute=recompute,
         wall_s=wall_s,
         recomputes=engine.recomputes,
+        visited=engine.transfers_visited,
         sim_end_s=sim.now,
     )
 
 
-def run_engine_sweep(sizes=(10, 100, 1000)) -> list:
+def run_engine_sweep(sizes=(10, 100, 1000), recompute: str = "full") -> list:
     """Wall time of the engine across fleet sizes (steady concurrency)."""
-    return [_engine_run(n) for n in sizes]
+    return [_engine_run(n, recompute) for n in sizes]
 
 
 def check_engine_sweep(rows) -> None:
@@ -137,22 +147,154 @@ def bench_engine_steady_stream(benchmark):
     assert row["recomputes"] > 0
 
 
+# ----------------------------------------------------------------------
+# swarm-scale cold waves through the full scenario stack
+# ----------------------------------------------------------------------
+#: Wall-time guard per cold wave for the 10k-device incremental cell.
+#: Interactive runs finish a wave in well under 10 s on a workstation;
+#: the guard carries headroom for slower CI machines while still
+#: catching a regression back to full-recompute scaling (which is
+#: more than an order of magnitude off).
+_SWARM_GUARD_WAVE_S = 45.0
+
+#: Minimum full/incremental ratio of recompute-visited transfers on
+#: the 1000-device cold-wave cell.
+_SWARM_VISITED_RATIO_MIN = 10.0
+
+#: The cold-waves workload schedules exactly two waves.
+_SWARM_WAVES = 2
+
+
+def _swarm_run(
+    n_devices: int, n_regions: int, stagger_s: float, recompute: str
+) -> dict:
+    """The ``p2p-swarm-scale`` preset resized; returns timings.
+
+    ``n_regions`` grows with the fleet because regions are full-mesh
+    LAN islands — region size sets the per-device degree (and the
+    channel count), not the fleet size.
+    """
+    spec = scenarios.get("p2p-swarm-scale")
+    spec = dataclasses.replace(
+        spec,
+        topology=dataclasses.replace(
+            spec.topology, n_devices=n_devices, n_regions=n_regions
+        ),
+        workload=dataclasses.replace(spec.workload, stagger_s=stagger_s),
+        transfer=dataclasses.replace(spec.transfer, recompute=recompute),
+    )
+    build_start = time.perf_counter()
+    session = SimulationSession(spec)
+    build_s = time.perf_counter() - build_start
+    engine = session.engine
+    wall_start = time.perf_counter()
+    outcome = session.run()
+    wall_s = time.perf_counter() - wall_start
+    assert outcome.unfinished_pulls == 0
+    assert engine.peak_oversubscription() <= 1.0 + 1e-9
+    return dict(
+        devices=n_devices,
+        recompute=recompute,
+        build_s=build_s,
+        wall_s=wall_s,
+        wave_s=wall_s / _SWARM_WAVES,
+        recomputes=engine.recomputes,
+        visited=engine.transfers_visited,
+        makespan_s=outcome.makespan_s,
+    )
+
+
+def run_swarm_sweep(quick: bool) -> list:
+    """Cold waves at 1000 (both recompute modes) and 10k devices.
+
+    ``--quick`` runs only the 10k incremental cell — the wall-guarded
+    CI canary for the scaling win.
+    """
+    cells = [(10_000, 100, 0.05, "incremental")]
+    if not quick:
+        cells = [
+            (1000, 20, 0.25, "full"),
+            (1000, 20, 0.25, "incremental"),
+        ] + cells
+    return [_swarm_run(*cell) for cell in cells]
+
+
+def check_swarm_sweep(rows) -> None:
+    """Wall-time guard plus the incremental-vs-full work ratio."""
+    for row in rows:
+        if row["devices"] >= 10_000 and row["recompute"] == "incremental":
+            assert row["wave_s"] < _SWARM_GUARD_WAVE_S, (
+                f"10k-device cold wave took {row['wave_s']:.1f} s wall "
+                f"(guard: {_SWARM_GUARD_WAVE_S:.0f} s) — incremental "
+                f"recompute scaling has regressed"
+            )
+    by_mode = {
+        row["recompute"]: row for row in rows if row["devices"] == 1000
+    }
+    if "full" in by_mode and "incremental" in by_mode:
+        full, inc = by_mode["full"], by_mode["incremental"]
+        ratio = full["visited"] / max(inc["visited"], 1)
+        assert ratio >= _SWARM_VISITED_RATIO_MIN, (
+            f"incremental recompute visited only {ratio:.1f}x fewer "
+            f"transfers than full at 1000 devices "
+            f"(required: {_SWARM_VISITED_RATIO_MIN:.0f}x)"
+        )
+        drift = abs(full["makespan_s"] - inc["makespan_s"]) / max(
+            full["makespan_s"], 1e-9
+        )
+        assert drift < 1e-6, (
+            f"recompute modes disagree on makespan: {full['makespan_s']} "
+            f"vs {inc['makespan_s']}"
+        )
+
+
 def main(argv=None) -> int:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     from _smoke import parse_quick
 
     quick = parse_quick(sys.argv[1:] if argv is None else list(argv))
     sizes = (10, 100) if quick else (10, 100, 1000)
-    rows = run_engine_sweep(sizes)
     print("== transfer-engine scaling (steady pull stream) ==")
-    print(f"{'devices':>8} {'wall s':>8} {'recomputes':>11} {'sim end s':>10}")
-    for row in rows:
-        print(
-            f"{row['devices']:>8} {row['wall_s']:>8.3f} "
-            f"{row['recomputes']:>11} {row['sim_end_s']:>10.1f}"
-        )
-    check_engine_sweep(rows)
+    print(
+        f"{'devices':>8} {'mode':>12} {'wall s':>8} {'recomputes':>11} "
+        f"{'visited':>9} {'sim end s':>10}"
+    )
+    for recompute in ("full", "incremental"):
+        rows = run_engine_sweep(sizes, recompute)
+        for row in rows:
+            print(
+                f"{row['devices']:>8} {row['recompute']:>12} "
+                f"{row['wall_s']:>8.3f} {row['recomputes']:>11} "
+                f"{row['visited']:>9} {row['sim_end_s']:>10.1f}"
+            )
+        check_engine_sweep(rows)
     print("engine sweep OK: wall time is sub-quadratic in fleet size")
+    print()
+    print("== swarm-scale cold waves (p2p-swarm-scale preset) ==")
+    swarm_rows = run_swarm_sweep(quick)
+    print(
+        f"{'devices':>8} {'mode':>12} {'build s':>8} {'wall s':>8} "
+        f"{'s/wave':>7} {'recomputes':>11} {'visited':>9} {'makespan':>9}"
+    )
+    for row in swarm_rows:
+        print(
+            f"{row['devices']:>8} {row['recompute']:>12} "
+            f"{row['build_s']:>8.1f} {row['wall_s']:>8.1f} "
+            f"{row['wave_s']:>7.1f} {row['recomputes']:>11} "
+            f"{row['visited']:>9} {row['makespan_s']:>9.1f}"
+        )
+    check_swarm_sweep(swarm_rows)
+    print(
+        f"swarm sweep OK: 10k-device waves under {_SWARM_GUARD_WAVE_S:.0f} s"
+        + (
+            ""
+            if quick
+            else (
+                f", incremental visits >={_SWARM_VISITED_RATIO_MIN:.0f}x "
+                f"fewer transfers at 1000 devices"
+            )
+        )
+    )
     if quick:
         from _smoke import smoke_main
 

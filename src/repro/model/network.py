@@ -51,6 +51,12 @@ class Channel:
 #: datasets).  Wired per device like a registry channel.
 INGRESS = "__ingress__"
 
+#: Shared empty in-neighbor set for devices nothing connects to.
+_NO_NEIGHBOURS: frozenset = frozenset()
+
+#: Shared empty channel row for devices nothing connects to.
+_NO_CHANNELS: Dict[str, "Channel"] = {}
+
 
 @dataclass(frozen=True)
 class LinkSpec:
@@ -79,6 +85,25 @@ class NetworkModel:
         self._registry_channels: Dict[Tuple[str, str], Channel] = {}
         self._uplinks: Dict[str, float] = {}
         self._downlinks: Dict[str, float] = {}
+        # transfer_path results, keyed by (src, dst, src_is_registry).
+        # The time-resolved engine calls transfer_path on every start
+        # (and estimate), so at swarm scale the spec rebuild dominates;
+        # any topology mutation clears the cache wholesale.
+        self._path_cache: Dict[
+            Tuple[str, str, bool], Tuple[List[LinkSpec], float]
+        ] = {}
+        # Devices with a channel *into* each device.  Peer selection
+        # intersects holder sets against this (only an in-neighbor can
+        # serve a transfer), which keeps lookups proportional to a
+        # device's degree instead of a hot layer's holder count.
+        self._in_neighbors: Dict[str, set] = {}
+        # The same channels grouped per destination: source → Channel.
+        # Candidate-source scans fetch the row once and probe it with
+        # plain string keys instead of hashing a tuple per candidate.
+        self._channels_into: Dict[str, Dict[str, Channel]] = {}
+        # In-neighbors of each device in best-first order (bandwidth
+        # descending, then name) — built lazily, dropped on mutation.
+        self._pref_cache: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # topology construction
@@ -95,9 +120,15 @@ class NetworkModel:
         if a == b:
             raise ValueError(f"loopback channel on {a!r} is implicit")
         channel = Channel(bandwidth_mbps, rtt_s)
+        self._path_cache.clear()
+        self._pref_cache.clear()
         self._device_channels[(a, b)] = channel
+        self._in_neighbors.setdefault(b, set()).add(a)
+        self._channels_into.setdefault(b, {})[a] = channel
         if symmetric:
             self._device_channels[(b, a)] = channel
+            self._in_neighbors.setdefault(a, set()).add(b)
+            self._channels_into.setdefault(a, {})[b] = channel
 
     def connect_device_mesh(
         self,
@@ -124,6 +155,7 @@ class NetworkModel:
         rtt_s: float = 0.0,
     ) -> None:
         """Install a registry→device channel (``BW_gj``)."""
+        self._path_cache.clear()
         self._registry_channels[(registry, device)] = Channel(bandwidth_mbps, rtt_s)
 
     # ------------------------------------------------------------------
@@ -153,6 +185,52 @@ class NetworkModel:
     def has_device_channel(self, src: str, dst: str) -> bool:
         """Whether a (non-loopback) channel ``src → dst`` exists."""
         return (src, dst) in self._device_channels
+
+    def device_channel_if_any(self, src: str, dst: str) -> Optional[Channel]:
+        """The ``src → dst`` channel, or None when absent.
+
+        The non-raising hot-path variant of :meth:`device_channel` for
+        scans that probe many candidate sources per lookup.
+        """
+        return self._device_channels.get((src, dst))
+
+    def channels_into(self, dst: str) -> Dict[str, Channel]:
+        """Source → channel for every device channel into ``dst``.
+
+        A *live* mapping maintained alongside the channel matrix —
+        read-only for callers.  Source-selection scans fetch the row
+        once and probe candidates with plain string keys.
+        """
+        return self._channels_into.get(dst, _NO_CHANNELS)
+
+    def device_in_neighbors(self, dst: str) -> frozenset:
+        """Devices with a channel into ``dst``.
+
+        The returned set is a *live view* maintained alongside the
+        channel matrix — callers must treat it as read-only.  Peer
+        selection intersects candidate holders against it so a lookup
+        costs the device's degree, not the holder count.
+        """
+        return self._in_neighbors.get(dst, _NO_NEIGHBOURS)
+
+    def device_sources_by_preference(self, dst: str) -> Tuple[str, ...]:
+        """In-neighbors of ``dst``, fastest first (ties by name).
+
+        The order is exactly the total order peer selection minimises
+        over — ``(-bandwidth, name)`` — so the best source among any
+        candidate set is the *first* entry of this list contained in
+        it.  Built lazily per device and invalidated by topology
+        mutations; swarm-scale peer lookups walk it with O(1)
+        membership probes instead of scanning every holder.
+        """
+        cached = self._pref_cache.get(dst)
+        if cached is None:
+            row = self._channels_into.get(dst, _NO_CHANNELS)
+            cached = tuple(
+                sorted(row, key=lambda src: (-row[src].bandwidth_mbps, src))
+            )
+            self._pref_cache[dst] = cached
+        return cached
 
     def device_bandwidth_mbps(self, src: str, dst: str) -> float:
         """``BW_kj``; ``inf`` for loopback."""
@@ -191,11 +269,13 @@ class NetworkModel:
         :class:`~repro.sim.transfers.TransferEngine` consults it.
         """
         require_positive(capacity_mbps, "capacity_mbps")
+        self._path_cache.clear()
         self._uplinks[endpoint] = capacity_mbps
 
     def set_downlink(self, endpoint: str, capacity_mbps: float) -> None:
         """Give ``endpoint`` a shared ingress link (NIC capacity)."""
         require_positive(capacity_mbps, "capacity_mbps")
+        self._path_cache.clear()
         self._downlinks[endpoint] = capacity_mbps
 
     def uplink_mbps(self, endpoint: str) -> Optional[float]:
@@ -217,6 +297,11 @@ class NetworkModel:
         """
         if not src_is_registry and src == dst:
             return [], 0.0
+        key = (src, dst, src_is_registry)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            specs, rtt_s = cached
+            return list(specs), rtt_s
         if src_is_registry:
             channel = self.registry_channel(src, dst)
         else:
@@ -231,7 +316,8 @@ class NetworkModel:
         down = self._downlinks.get(dst)
         if down is not None:
             specs.append(LinkSpec(f"down:{dst}", down))
-        return specs, channel.rtt_s
+        self._path_cache[key] = (specs, channel.rtt_s)
+        return list(specs), channel.rtt_s
 
     # ------------------------------------------------------------------
     # external ingress (camera feeds, S3 datasets)

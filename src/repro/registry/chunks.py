@@ -588,8 +588,11 @@ class ChunkSwarmPlanner:
                 continue
             transfer = live[0]
             if transfer.rate_mbps > 0:
+                # engine.remaining_mb projects lazily-settled progress
+                # forward to the current clock (incremental mode keeps
+                # transfer.remaining_mb fresh only per dirty closure).
                 remaining_s = (
-                    transfer.remaining_mb * 8.0 / transfer.rate_mbps
+                    engine.remaining_mb(transfer) * 8.0 / transfer.rate_mbps
                 )
             else:
                 # Still in its connection-latency phase: fall back to
@@ -734,9 +737,14 @@ class ChunkSwarmPlanner:
             yield sim.all_of(workers)
         except BaseException:
             st.aborted = True
-            for entries in list(st.inflight.values()):
-                for transfer, _kind, _source in list(entries):
-                    engine.cancel(transfer, reason="chunked fetch aborted")
+            engine.cancel_many(
+                (
+                    transfer
+                    for entries in list(st.inflight.values())
+                    for transfer, _kind, _source in list(entries)
+                ),
+                reason="chunked fetch aborted",
+            )
             store.abort_layer(layer_digest)
             raise
         finally:
@@ -826,7 +834,12 @@ class ChunkSwarmPlanner:
                             device,
                             chunk.size_bytes,
                             src_is_registry=True,
-                            digest=chunk.digest,
+                            # An endgame duplicate deliberately races a
+                            # live transfer for the same chunk; starting
+                            # it digest-less keeps it out of the inbound
+                            # index (which maps each (dst, digest) to
+                            # exactly one joinable transfer).
+                            digest="" if duplicate else chunk.digest,
                         )
                 except UploadBudgetExceeded:
                     excluded.add(source)

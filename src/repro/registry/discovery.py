@@ -134,10 +134,14 @@ class OmniscientDiscovery(DiscoveryBackend):
         self.index = index
 
     def view(self, viewer: str, digest: str) -> FrozenSet[str]:
-        return self.index.holders(digest)
+        # The live holder set, not a snapshot: every caller consumes a
+        # view immediately (set algebra, len, iteration), and at swarm
+        # scale per-lookup copies of a hot layer's thousand-holder set
+        # would dominate the pull path.
+        return self.index.holders_view(digest)
 
     def management_view(self, digest: str) -> FrozenSet[str]:
-        return self.index.holders(digest)
+        return self.index.holders_view(digest)
 
     def size_of(self, digest: str) -> Optional[int]:
         return self.index.size_of(digest)

@@ -63,6 +63,9 @@ from .repository import ManifestNotFound
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sim.churn import ChurnProcess
 
+#: Shared empty holder set for digests nobody holds.
+_NO_HOLDERS: FrozenSet[str] = frozenset()
+
 
 class PeerIndex:
     """Digest → holders map, kept coherent via cache subscriptions.
@@ -129,6 +132,16 @@ class PeerIndex:
     def holders(self, digest: str) -> FrozenSet[str]:
         """Devices whose cache currently holds ``digest``."""
         return frozenset(self._holders.get(digest, ()))
+
+    def holders_view(self, digest: str) -> FrozenSet[str]:
+        """Live holder set for ``digest`` — **read-only**, aliased.
+
+        The hot-path variant of :meth:`holders`: no per-call copy, but
+        the result mutates with the index.  Callers must consume it
+        immediately (set algebra, iteration) and never store it across
+        simulated time; use :meth:`holders` for a stable snapshot.
+        """
+        return self._holders.get(digest, _NO_HOLDERS)
 
     def holds(self, device: str, digest: str) -> bool:
         return device in self._holders.get(digest, ())
@@ -270,40 +283,56 @@ class PeerSwarm:
         (an entry for an evicted layer or a departed peer); callers on
         the pull path must :meth:`verify_holder` before transferring.
         """
-        holders = self.discovery.view(device, digest) - exclude
+        holders = self.discovery.view(device, digest)
         if not holders:
             return None
+        # Walk the device's in-neighbors in (-bandwidth, name) order —
+        # the exact total order ``_fastest`` minimises over — and
+        # return the first one holding the layer.  A hot layer's
+        # holder set dwarfs a device's degree at swarm scale, and the
+        # holder-membership probe is O(1), so a lookup usually costs a
+        # handful of probes instead of a scan over every holder.
+        preference = self.network.device_sources_by_preference(device)
         region = self._regions.get(device)
         if region is not None:
-            local = (holders & self._members.get(region, set())) - {device}
-            best = self._fastest(local, device)
-            if best is not None:
-                return best
-        return self._fastest(holders - {device}, device)
+            members = self._members.get(region, _NO_HOLDERS)
+            for peer in preference:
+                if (
+                    peer in holders
+                    and peer in members
+                    and peer not in exclude
+                ):
+                    return peer
+        for peer in preference:
+            if peer in holders and peer not in exclude:
+                return peer
+        return None
 
     def _fastest(self, candidates: Iterable[str], device: str) -> Optional[str]:
         """Highest-bandwidth reachable candidate.
 
-        The key is explicitly ``(-bandwidth, name)`` over the *sorted*
-        candidate list, so equal-bandwidth ties always resolve to the
-        lexicographically smallest device name — independent of set
-        iteration order, hash seeds, or Python version.  Gossip/churn
-        sweeps rely on this for reproducibility.
+        The champion comparison is total — higher bandwidth wins, and
+        equal bandwidth falls back to the lexicographically smaller
+        device name — so the result is independent of candidate
+        iteration order, hash seeds, or Python version (no sort
+        needed).  Gossip/churn sweeps rely on this for
+        reproducibility.
         """
-        reachable = [
-            peer
-            for peer in sorted(candidates)
-            if self.network.has_device_channel(peer, device)
-        ]
-        if not reachable:
-            return None
-        return min(
-            reachable,
-            key=lambda peer: (
-                -self.network.device_bandwidth_mbps(peer, device),
-                peer,
-            ),
-        )
+        row = self.network.channels_into(device)
+        best: Optional[str] = None
+        best_bw = 0.0
+        for peer in candidates:
+            channel = row.get(peer)
+            if channel is None:
+                continue
+            bandwidth = channel.bandwidth_mbps
+            if (
+                best is None
+                or bandwidth > best_bw
+                or (bandwidth == best_bw and peer < best)
+            ):
+                best, best_bw = peer, bandwidth
+        return best
 
     def verify_holder(self, viewer: str, holder: str, digest: str) -> bool:
         """Check a discovered holder against the ground-truth index.

@@ -29,6 +29,7 @@ from .spec import (
     ChunkSpec,
     ChurnSpec,
     DiscoverySpec,
+    ReplicationSpec,
     ScenarioSpec,
     TopologySpec,
     TransferSpec,
@@ -240,4 +241,37 @@ register(
         "4) on the contended cold wave"
     ),
     family="p2p-chunked",
+)
+
+register(
+    "p2p-swarm-scale",
+    lambda: ScenarioSpec(
+        mode="hybrid+p2p",
+        # NIC-shaped endpoints but no hub/regional egress shaping: a
+        # shared registry uplink would couple every in-flight pull into
+        # one connected component, defeating the closure-local
+        # recompute this preset exists to exercise (registry fan-out is
+        # the CDN's problem, per the engine's budget model).
+        topology=TopologySpec(
+            n_devices=1000,
+            n_regions=20,
+            cache_gb=12.0,
+            device_nic_mbps=400.0,
+        ),
+        workload=_cold_waves(stagger_s=0.25),
+        transfer=TransferSpec(
+            model="time-resolved",
+            upload_budget=4,
+            recompute="incremental",
+        ),
+        # Replication sweeps scan every tracked digest × region; at
+        # swarm scale a 2-minute cadence would spend more wall time on
+        # sweeps than on the waves themselves.
+        replication=ReplicationSpec(interval_s=600.0),
+    ),
+    description=(
+        "1000-device cold waves through the incremental fair-share "
+        "engine (upload budget 4) — the swarm-scale benchmark scenario"
+    ),
+    family="p2p-swarm-scale",
 )

@@ -199,6 +199,7 @@ class SimulationSession:
                 self.sim,
                 scenario.network,
                 default_upload_budget=spec.transfer.upload_budget,
+                incremental=(spec.transfer.recompute == "incremental"),
             )
 
         self._busy: Dict[str, int] = {}

@@ -142,6 +142,14 @@ class WorkloadSpec:
             )
 
 
+#: Fair-share recompute strategies of the time-resolved engine.
+#: ``"full"`` re-solves every active transfer per event (the
+#: historically pinned default); ``"incremental"`` re-solves only the
+#: dirty closure the event perturbed — identical rates, swarm-scale
+#: event cost.
+RECOMPUTE_MODES = ("full", "incremental")
+
+
 @dataclass(frozen=True)
 class TransferSpec:
     """How bytes become elapsed time.
@@ -151,11 +159,14 @@ class TransferSpec:
     shared-bandwidth :class:`~repro.sim.transfers.TransferEngine`.
     ``upload_budget`` caps concurrent uploads per device and is only
     meaningful (and only accepted) with the time-resolved model — the
-    analytic model has no engine to enforce it.
+    analytic model has no engine to enforce it.  ``recompute`` selects
+    the engine's fair-share recompute strategy (see
+    :data:`RECOMPUTE_MODES`) and likewise needs the engine.
     """
 
     model: TransferModel = TransferModel.ANALYTIC
     upload_budget: Optional[int] = None
+    recompute: str = "full"
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, TransferModel):
@@ -172,6 +183,19 @@ class TransferSpec:
                     "upload_budget needs the time-resolved transfer model "
                     "(the analytic model has no engine to enforce it)"
                 )
+        if self.recompute not in RECOMPUTE_MODES:
+            raise ValueError(
+                f"unknown recompute mode {self.recompute!r}; expected one "
+                f"of {RECOMPUTE_MODES}"
+            )
+        if (
+            self.recompute != "full"
+            and self.model is not TransferModel.TIME_RESOLVED
+        ):
+            raise ValueError(
+                "recompute selection needs the time-resolved transfer "
+                "model (the analytic model never recomputes rates)"
+            )
 
     @property
     def time_resolved(self) -> bool:

@@ -16,6 +16,23 @@ EdgePier's seeder-contention observation) and supports **mid-transfer
 cancellation** (a departing peer fails its in-flight uploads, and the
 freed bandwidth is redistributed immediately).
 
+Recompute modes
+---------------
+The default (``incremental=False``) re-runs progressive filling over
+the *entire* active set on every event — simple, and byte-for-byte
+pinned by the historical experiments.  ``incremental=True`` re-solves
+only the **dirty closure**: the connected component(s) of the
+transfer–link bipartite graph touching the links whose membership the
+event changed.  Max-min fairness decomposes exactly over connected
+components (a transfer's rate depends only on the capacities and
+membership of links it can reach through shared transfers), so the
+closure fill produces *bit-identical* rates to a full recompute — an
+invariant the engine can verify on every event (``self_check=True``)
+and the Hypothesis differential tests pin down.  Progress accounting
+becomes lazy (per-transfer ``settled_s``) and completions are tracked
+in a deadline heap instead of a rescan, so an event on an idle corner
+of a 10k-device swarm costs the size of its component, not the swarm.
+
 Which model a simulation uses is selected by :class:`TransferModel`:
 ``ANALYTIC`` keeps the paper-faithful instant-accounting path bit-for-
 bit, ``TIME_RESOLVED`` routes transfers through this engine.
@@ -24,17 +41,29 @@ bit, ``TIME_RESOLVED`` routes transfers through this engine.
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.units import BYTES_PER_MB, bytes_to_mb, MBIT_PER_MB, transfer_time_s
 from .engine import Simulator
 from .events import Event
 
+try:  # optional: vectorised bottleneck search for large fills
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 #: Residual payload (in MB) below which a transfer counts as finished.
 #: Far above float noise accumulated by settling (≈1e-13 MB), far below
 #: one byte (1e-6 MB), so no real payload is ever silently dropped.
 _EPS_MB = 1e-9
+
+#: Fills over at least this many links use the numpy bottleneck search
+#: (when numpy is importable).  Below it, array setup costs more than
+#: the scalar scan saves.  The dispatch is observable only in wall
+#: time: the vector search is bit-identical to the scalar one.
+_VECTOR_MIN_LINKS = 48
 
 
 class TransferModel(enum.Enum):
@@ -49,6 +78,17 @@ class TransferModel(enum.Enum):
 
 class UploadBudgetExceeded(RuntimeError):
     """The source device is already at its concurrent-upload budget."""
+
+
+class InflightCollision(RuntimeError):
+    """A transfer for the same ``(dst, digest)`` is already in flight.
+
+    Starting a second one would silently evict the first from the
+    inbound index and break the join-in-flight dedup contract that
+    :meth:`TransferEngine.inflight_to` documents — callers must join
+    the existing transfer (or start the duplicate without a digest,
+    as the chunked endgame does for its speculative copies).
+    """
 
 
 class TransferCancelled(Exception):
@@ -106,6 +146,7 @@ class Transfer:
         "remaining_mb",
         "rate_mbps",
         "active",
+        "settled_s",
     )
 
     def __init__(
@@ -138,6 +179,9 @@ class Transfer:
         #: True while the transfer occupies its links (past latency,
         #: not yet finished/cancelled).
         self.active = False
+        #: Simulated time up to which ``remaining_mb`` is accounted
+        #: (incremental mode settles lazily, per dirty closure).
+        self.settled_s = requested_s
 
     @property
     def lower_bound_s(self) -> float:
@@ -191,8 +235,21 @@ class TransferEngine:
     :meth:`~repro.model.network.NetworkModel.transfer_path` specs),
     tracks every in-flight :class:`Transfer`, and keeps all rates
     max-min fair.  Rate recomputation runs on every start, finish, and
-    cancellation and costs ``O(active transfers + involved links)`` —
-    there is no per-tick work, so idle links are free.
+    cancellation — there is no per-tick work, so idle links are free.
+
+    Recompute cost
+    --------------
+    In the default full mode every event costs ``O(active transfers +
+    involved links)``.  With ``incremental=True`` an event costs only
+    its **dirty closure** — the connected component(s) of the
+    transfer–link graph reachable from the links whose membership
+    changed.  Because max-min fairness is exactly decomposable over
+    components, the closure fill is bit-identical to a full recompute
+    (``self_check=True`` re-derives the full solution after every event
+    and asserts equality — a test hook, quadratic, never for
+    production runs).  ``transfers_visited`` counts the transfers each
+    mode actually re-rates, so scale benchmarks can compare the work
+    directly.
 
     Upload budgets
     --------------
@@ -208,6 +265,8 @@ class TransferEngine:
         sim: Simulator,
         network,
         default_upload_budget: Optional[int] = None,
+        incremental: bool = False,
+        self_check: bool = False,
     ) -> None:
         if default_upload_budget is not None and default_upload_budget < 0:
             raise ValueError(
@@ -216,6 +275,12 @@ class TransferEngine:
         self.sim = sim
         self.network = network
         self.default_upload_budget = default_upload_budget
+        self.incremental = incremental
+        self.self_check = self_check
+        #: Minimum involved-link count for the numpy bottleneck search;
+        #: benchmarks/tests lower it to force (or raise it to disable)
+        #: the vector path.
+        self.vector_min_links = _VECTOR_MIN_LINKS
         self._links: Dict[str, Link] = {}
         self._active: Dict[int, Transfer] = {}
         self._uploads: Dict[str, Dict[int, Transfer]] = {}
@@ -225,12 +290,24 @@ class TransferEngine:
         self._clock_s = sim.now
         self._generation = 0
         self._wake: Optional[Event] = None
+        # incremental mode: predicted completions as a lazy min-heap of
+        # (deadline, transfer id, token); _tokens holds each transfer's
+        # latest token, so stale entries are skipped when they surface.
+        self._deadline_heap: List[Tuple[float, int, int]] = []
+        self._tokens: Dict[int, int] = {}
+        self._token_seq = itertools.count()
+        self._wake_deadline = float("inf")
         # diagnostics
         self.started = 0
         self.completed = 0
         self.cancellations = 0
         self.recomputes = 0
         self.bytes_completed = 0
+        #: Transfers assigned a rate, summed over all recomputes — the
+        #: work metric the scale benchmarks compare across modes (full
+        #: mode re-rates every active transfer per event; incremental
+        #: mode only its dirty closure).
+        self.transfers_visited = 0
 
     # ------------------------------------------------------------------
     # upload budgets
@@ -269,7 +346,10 @@ class TransferEngine:
         the transfer as value) at completion, or fails with
         :class:`TransferCancelled` if cancelled.  Raises
         :class:`UploadBudgetExceeded` if a *device* source is already
-        at its budget — no slot is consumed in that case.
+        at its budget, and :class:`InflightCollision` if a transfer
+        for the same ``(dst, digest)`` is already in flight (join it
+        via :meth:`inflight_to` instead) — no slot is consumed in
+        either case.
         """
         if size_bytes < 0:
             raise ValueError(f"negative transfer size: {size_bytes}")
@@ -278,6 +358,14 @@ class TransferEngine:
                 f"{src!r} is at its upload budget "
                 f"({self.uploads_in_flight(src)} in flight)"
             )
+        if digest:
+            existing = self._inbound.get((dst, digest))
+            if existing is not None:
+                raise InflightCollision(
+                    f"transfer of {digest} to {dst!r} already in flight "
+                    f"(#{existing.id} from {existing.src!r}); join it via "
+                    f"inflight_to()"
+                )
         specs, latency_s = self.network.transfer_path(
             src, dst, src_is_registry=src_is_registry
         )
@@ -313,29 +401,71 @@ class TransferEngine:
         already cancelled; otherwise fails the transfer's ``done``
         event with :class:`TransferCancelled`.
         """
-        if transfer.cancelled or transfer.completed_s is not None:
-            return False
-        transfer.cancelled = True
-        self.cancellations += 1
-        self._release_slot(transfer)
-        if transfer.active:
-            self._settle()
-            self._detach(transfer)
-            self._recompute()
-        transfer.done.fail(TransferCancelled(transfer, reason))
-        return True
+        return self._cancel_batch((transfer,), reason) > 0
+
+    def cancel_many(
+        self, transfers: Iterable[Transfer], reason: str = ""
+    ) -> int:
+        """Cancel a batch of transfers with **one** settle + recompute.
+
+        Already-finished or already-cancelled entries are skipped, like
+        :meth:`cancel`.  The batch detaches every victim before rates
+        are re-solved once, so cancelling k transfers costs one
+        recompute instead of k — and survivors never observe the
+        intermediate memberships (which a per-victim loop would expose
+        as phantom rate spikes in zero elapsed time).  Victims are
+        processed in id order for determinism.  Returns the number of
+        transfers actually cancelled.
+        """
+        return self._cancel_batch(
+            sorted(transfers, key=lambda t: t.id), reason
+        )
 
     def cancel_uploads_from(self, device: str, reason: str = "") -> int:
         """Cancel every in-flight upload seeded by ``device``.
 
         The device-departure hook: a peer leaving the swarm takes its
-        uploads with it.  Returns the number of transfers cancelled.
+        uploads with it.  The whole batch settles and recomputes once
+        (a departing seeder with k uploads used to trigger k
+        recomputes).  Returns the number of transfers cancelled.
         """
         victims = sorted(
             self._uploads.get(device, {}).values(), key=lambda t: t.id
         )
+        return self._cancel_batch(victims, reason or f"{device} departed")
+
+    def _cancel_batch(
+        self, transfers: Sequence[Transfer], reason: str
+    ) -> int:
+        victims = [
+            t for t in transfers
+            if not t.cancelled and t.completed_s is None
+        ]
+        if not victims:
+            return 0
+        any_active = any(t.active for t in victims)
+        if any_active and not self.incremental:
+            self._settle()
+        seeds: List[Link] = []
         for transfer in victims:
-            self.cancel(transfer, reason or f"{device} departed")
+            transfer.cancelled = True
+            self.cancellations += 1
+            self._release_slot(transfer)
+            if transfer.active:
+                if self.incremental:
+                    self._settle_one(transfer)
+                seeds.extend(transfer.links)
+                self._detach(transfer)
+        if any_active:
+            if self.incremental:
+                self._recompute_incremental(seeds)
+            else:
+                self._recompute()
+        # Event failure is deferred (callbacks run when the queue
+        # processes the event), so failing after the single recompute
+        # preserves the per-victim ordering waiters observe.
+        for transfer in victims:
+            transfer.done.fail(TransferCancelled(transfer, reason))
         return len(victims)
 
     # ------------------------------------------------------------------
@@ -353,6 +483,26 @@ class TransferEngine:
         the wire) instead of fetching the layer twice.
         """
         return self._inbound.get((dst, digest))
+
+    def remaining_mb(self, transfer: Transfer) -> float:
+        """The transfer's unsent payload as of *now*.
+
+        In full mode ``transfer.remaining_mb`` is already as fresh as
+        the last engine event; in incremental mode settling is lazy per
+        dirty closure, so mid-flight readers (the chunked endgame's
+        straggler detection) must project progress forward to the
+        current clock.  Non-mutating: querying never perturbs the
+        engine's own accounting.
+        """
+        if not (self.incremental and transfer.active):
+            return transfer.remaining_mb
+        dt = self.sim.now - transfer.settled_s
+        if dt <= 0 or transfer.rate_mbps <= 0:
+            return transfer.remaining_mb
+        return max(
+            0.0,
+            transfer.remaining_mb - transfer.rate_mbps / MBIT_PER_MB * dt,
+        )
 
     def link(self, name: str) -> Optional[Link]:
         return self._links.get(name)
@@ -400,13 +550,27 @@ class TransferEngine:
     def peak_oversubscription(self) -> float:
         """Worst observed ``allocated / capacity`` over all links.
 
-        Max-min fairness guarantees this never exceeds 1 (modulo float
-        noise); the Hypothesis invariant tests pin it down.
+        Utilisation is the *sum of allocated rates* over a link's
+        transfers — measured independently of the filling loop's own
+        capacity bookkeeping, so a real over-allocation bug shows up
+        here as a ratio above 1 instead of being clamped away.
+        Max-min fairness guarantees the ratio never exceeds 1 (modulo
+        float noise); the Hypothesis invariant tests pin it down.
         """
         worst = 0.0
         for link in self._links.values():
             worst = max(worst, link.peak_utilisation_mbps / link.capacity_mbps)
         return worst
+
+    def reference_rates(self) -> Dict[int, float]:
+        """Max-min rates from a scalar full fill over every active
+        transfer, computed without touching engine state — the oracle
+        the incremental closure fill (and the vector search) must match
+        bit-for-bit."""
+        record: Dict[int, float] = {}
+        if self._active:
+            self._fill(self._active, record=record)
+        return record
 
     # ------------------------------------------------------------------
     # internals
@@ -432,16 +596,22 @@ class TransferEngine:
             # handshake completes — it never occupies a link.
             self._finish(transfer)
             return
-        self._settle()
+        if not self.incremental:
+            self._settle()
         transfer.active = True
+        transfer.settled_s = self.sim.now
         self._active[transfer.id] = transfer
         for link in transfer.links:
             link.transfers[transfer.id] = transfer
-        self._recompute()
+        if self.incremental:
+            self._recompute_incremental(transfer.links)
+        else:
+            self._recompute()
 
     def _detach(self, transfer: Transfer) -> None:
         transfer.active = False
         self._active.pop(transfer.id, None)
+        self._tokens.pop(transfer.id, None)
         for link in transfer.links:
             link.transfers.pop(transfer.id, None)
 
@@ -469,7 +639,8 @@ class TransferEngine:
 
     def _settle(self) -> None:
         """Account progress made at the current rates since the last
-        rate change, bringing every ``remaining_mb`` up to date."""
+        rate change, bringing every ``remaining_mb`` up to date (full
+        mode; incremental mode settles lazily via :meth:`_settle_one`)."""
         dt = self.sim.now - self._clock_s
         self._clock_s = self.sim.now
         if dt <= 0:
@@ -481,32 +652,72 @@ class TransferEngine:
                     transfer.remaining_mb - transfer.rate_mbps / MBIT_PER_MB * dt,
                 )
 
-    def _recompute(self) -> None:
-        """Progressive filling: assign max-min fair rates, then arm a
-        wake-up at the earliest predicted completion."""
-        self.recomputes += 1
-        self._generation += 1
-        # Retract the previously armed wake-up: a stale one must not
-        # drag the clock out to a prediction that no longer holds
-        # (e.g. the sole transfer on a slow link was just cancelled).
-        if self._wake is not None and not self._wake.processed:
-            self._wake.void()
-        self._wake = None
-        if not self._active:
+    def _settle_one(self, transfer: Transfer) -> None:
+        """Bring one transfer's ``remaining_mb`` up to the current
+        clock at its (unchanged) rate."""
+        dt = self.sim.now - transfer.settled_s
+        transfer.settled_s = self.sim.now
+        if dt <= 0 or transfer.rate_mbps <= 0:
             return
-        # Only links that carry at least one active transfer matter.
+        transfer.remaining_mb = max(
+            0.0,
+            transfer.remaining_mb - transfer.rate_mbps / MBIT_PER_MB * dt,
+        )
+
+    # ------------------------------------------------------------------
+    # progressive filling (shared by both recompute modes)
+    # ------------------------------------------------------------------
+    def _fill(
+        self,
+        transfers: Dict[int, Transfer],
+        record: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Progressive filling over ``transfers``.
+
+        ``transfers`` must be a union of whole connected components of
+        the transfer–link graph (the full active set always is; the
+        incremental dirty closure is by construction).  Assigns each
+        transfer its max-min fair rate and records per-link peak
+        utilisation as the **sum of allocated rates** — independent of
+        the loop's own capacity bookkeeping, so an over-allocation bug
+        is observable.  With ``record`` the rates go into that mapping
+        instead and no engine state is touched (the scalar reference
+        oracle).
+        """
         capacity_left: Dict[str, float] = {}
         unfrozen_count: Dict[str, int] = {}
         involved: List[Link] = []
-        for transfer in self._active.values():
+        for transfer in transfers.values():
             for link in transfer.links:
                 if link.name not in capacity_left:
                     capacity_left[link.name] = link.capacity_mbps
                     unfrozen_count[link.name] = 0
                     involved.append(link)
                 unfrozen_count[link.name] += 1
+        if (
+            record is None
+            and _np is not None
+            and len(involved) >= self.vector_min_links
+        ):
+            self._fill_vector(transfers, involved, capacity_left, unfrozen_count)
+        else:
+            self._fill_scalar(
+                transfers, involved, capacity_left, unfrozen_count, record
+            )
+        if record is None:
+            self.transfers_visited += len(transfers)
+            self._record_peaks(involved)
+
+    def _fill_scalar(
+        self,
+        transfers: Dict[int, Transfer],
+        involved: List[Link],
+        capacity_left: Dict[str, float],
+        unfrozen_count: Dict[str, int],
+        record: Optional[Dict[int, float]],
+    ) -> None:
         frozen: Dict[int, bool] = {}
-        remaining = len(self._active)
+        remaining = len(transfers)
         while remaining > 0:
             # Bottleneck link: the one whose equal split is smallest.
             best_link: Optional[Link] = None
@@ -525,7 +736,10 @@ class TransferEngine:
                 if tid in frozen:
                     continue
                 transfer = best_link.transfers[tid]
-                transfer.rate_mbps = best_share
+                if record is None:
+                    transfer.rate_mbps = best_share
+                else:
+                    record[tid] = best_share
                 frozen[tid] = True
                 remaining -= 1
                 for link in transfer.links:
@@ -533,11 +747,89 @@ class TransferEngine:
                         0.0, capacity_left[link.name] - best_share
                     )
                     unfrozen_count[link.name] -= 1
-        for link in involved:
-            link.peak_utilisation_mbps = max(
-                link.peak_utilisation_mbps,
-                link.capacity_mbps - capacity_left[link.name],
+
+    def _fill_vector(
+        self,
+        transfers: Dict[int, Transfer],
+        involved: List[Link],
+        capacity_left: Dict[str, float],
+        unfrozen_count: Dict[str, int],
+    ) -> None:
+        """The scalar fill with its bottleneck *search* vectorised.
+
+        Only the per-round scan for the minimum equal split moves into
+        numpy; freezing and capacity subtraction stay scalar in the
+        identical order, and IEEE-754 division/compare are elementwise
+        identical between numpy float64 and Python floats — so the
+        rates are bit-identical to :meth:`_fill_scalar` (pinned by the
+        self-check tests, which force the oracle through the scalar
+        path).
+        """
+        names = [link.name for link in involved]
+        index = {name: i for i, name in enumerate(names)}
+        caps = _np.array([capacity_left[name] for name in names], dtype=_np.float64)
+        counts = _np.array(
+            [unfrozen_count[name] for name in names], dtype=_np.int64
+        )
+        # Tie-break rank: position in name-sorted order, so argmin over
+        # (share, rank) matches the scalar "smallest share, then
+        # lexicographically smallest name" rule.
+        rank = _np.empty(len(names), dtype=_np.int64)
+        for pos, i in enumerate(
+            sorted(range(len(names)), key=lambda j: names[j])
+        ):
+            rank[i] = pos
+        frozen: Dict[int, bool] = {}
+        remaining = len(transfers)
+        while remaining > 0:
+            shares = _np.where(
+                counts > 0, caps / _np.maximum(counts, 1), _np.inf
             )
+            best = shares.min()
+            candidates = _np.flatnonzero(shares == best)
+            i = int(candidates[_np.argmin(rank[candidates])])
+            best_link = involved[i]
+            best_share = float(best)
+            for tid in sorted(best_link.transfers):
+                if tid in frozen:
+                    continue
+                transfer = best_link.transfers[tid]
+                transfer.rate_mbps = best_share
+                frozen[tid] = True
+                remaining -= 1
+                for link in transfer.links:
+                    j = index[link.name]
+                    caps[j] = max(0.0, float(caps[j]) - best_share)
+                    counts[j] -= 1
+
+    def _record_peaks(self, involved: Iterable[Link]) -> None:
+        """Update peak utilisation from the rates actually allocated."""
+        for link in involved:
+            utilisation = 0.0
+            for transfer in link.transfers.values():
+                utilisation += transfer.rate_mbps
+            if utilisation > link.peak_utilisation_mbps:
+                link.peak_utilisation_mbps = utilisation
+
+    # ------------------------------------------------------------------
+    # full recompute (the default mode)
+    # ------------------------------------------------------------------
+    def _recompute(self) -> None:
+        """Progressive filling over the whole active set, then arm a
+        wake-up at the earliest predicted completion."""
+        self.recomputes += 1
+        self._generation += 1
+        # Retract the previously armed wake-up: a stale one must not
+        # drag the clock out to a prediction that no longer holds
+        # (e.g. the sole transfer on a slow link was just cancelled).
+        if self._wake is not None and not self._wake.processed:
+            self._wake.void()
+        self._wake = None
+        if not self._active:
+            return
+        self._fill(self._active)
+        if self.self_check:
+            self._assert_reference_rates()
         # Earliest completion under the new rates.
         next_dt = float("inf")
         for transfer in self._active.values():
@@ -563,3 +855,158 @@ class TransferEngine:
         for transfer in sorted(finished, key=lambda t: t.id):
             self._finish(transfer)
         self._recompute()
+
+    # ------------------------------------------------------------------
+    # incremental recompute (dirty-closure mode)
+    # ------------------------------------------------------------------
+    def _recompute_incremental(self, seeds: Iterable[Link]) -> None:
+        """Re-solve only the connected component(s) touching ``seeds``.
+
+        ``seeds`` are the links whose membership the triggering event
+        changed.  The closure walk collects every transfer reachable
+        from them through shared links (settling each at its old rate
+        first — rates change only after progress is accounted), then
+        refills that closure.  Transfers outside the closure share no
+        link with it, directly or transitively, so their max-min rates
+        are provably unchanged — skipping them is what breaks the
+        every-event-scans-everything cost wall.
+        """
+        self.recomputes += 1
+        seen: set = set()
+        stack: List[Link] = []
+        for link in seeds:
+            if link.name not in seen:
+                seen.add(link.name)
+                stack.append(link)
+        closure: Dict[int, Transfer] = {}
+        while stack:
+            link = stack.pop()
+            for tid, transfer in link.transfers.items():
+                if tid in closure:
+                    continue
+                closure[tid] = transfer
+                self._settle_one(transfer)
+                for other in transfer.links:
+                    if other.name not in seen:
+                        seen.add(other.name)
+                        stack.append(other)
+        if len(closure) == 1:
+            # Degenerate (and, off the hot spots, most common) closure:
+            # a transfer alone on all its links.  Its max-min rate is
+            # the path bottleneck; skip the filling-loop bookkeeping.
+            (transfer,) = closure.values()
+            rate = min(link.capacity_mbps for link in transfer.links)
+            transfer.rate_mbps = rate
+            self.transfers_visited += 1
+            for link in transfer.links:
+                if rate > link.peak_utilisation_mbps:
+                    link.peak_utilisation_mbps = rate
+            self._push_deadline(transfer)
+        elif closure:
+            self._fill(closure)
+            for transfer in closure.values():
+                self._push_deadline(transfer)
+        if self.self_check:
+            self._assert_reference_rates()
+        self._arm_wake_incremental()
+
+    def _push_deadline(self, transfer: Transfer) -> None:
+        """(Re)index one transfer's predicted completion time."""
+        if transfer.rate_mbps > 0:
+            deadline = (
+                transfer.settled_s
+                + transfer.remaining_mb * MBIT_PER_MB / transfer.rate_mbps
+            )
+            token = next(self._token_seq)
+            self._tokens[transfer.id] = token
+            heapq.heappush(
+                self._deadline_heap, (deadline, transfer.id, token)
+            )
+        else:  # pragma: no cover - a filled transfer always has a rate
+            self._tokens.pop(transfer.id, None)
+
+    def _arm_wake_incremental(self) -> None:
+        """Point the engine's single wake-up at the heap's earliest
+        still-valid deadline (stale tops are lazily dropped)."""
+        heap = self._deadline_heap
+        while heap and self._tokens.get(heap[0][1]) != heap[0][2]:
+            heapq.heappop(heap)
+        live = self._wake is not None and not self._wake.processed
+        if not heap:
+            if live:
+                self._generation += 1
+                self._wake.void()
+                self._wake = None
+            return
+        deadline = heap[0][0]
+        if live:
+            if deadline == self._wake_deadline:
+                return  # armed wake already fires at the right time
+            self._wake.void()
+        self._generation += 1
+        generation = self._generation
+        wake = self.sim.timeout(max(0.0, deadline - self.sim.now))
+        wake.add_callback(
+            lambda _evt, g=generation: self._on_wake_incremental(g)
+        )
+        self._wake = wake
+        self._wake_deadline = deadline
+
+    def _on_wake_incremental(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale wake-up: the heap front changed since
+        now = self.sim.now
+        heap = self._deadline_heap
+        finished: List[Transfer] = []
+        while heap:
+            deadline, tid, token = heap[0]
+            if self._tokens.get(tid) != token:
+                heapq.heappop(heap)
+                continue
+            if deadline > now:
+                break
+            heapq.heappop(heap)
+            transfer = self._active[tid]
+            self._settle_one(transfer)
+            if transfer.remaining_mb <= _EPS_MB:
+                finished.append(transfer)
+                continue
+            # Residual payload above the finish threshold: re-predict.
+            # If the new deadline cannot advance the clock (a sub-ulp
+            # residue of the timeout's float rounding), finishing now
+            # is the only way to guarantee progress.
+            deadline = (
+                transfer.settled_s
+                + transfer.remaining_mb * MBIT_PER_MB / transfer.rate_mbps
+            )
+            if deadline <= now:
+                finished.append(transfer)
+            else:
+                token = next(self._token_seq)
+                self._tokens[tid] = token
+                heapq.heappush(heap, (deadline, tid, token))
+        if finished:
+            seeds: List[Link] = []
+            for transfer in sorted(finished, key=lambda t: t.id):
+                seeds.extend(transfer.links)
+                self._finish(transfer)
+            self._recompute_incremental(seeds)
+        else:
+            self._arm_wake_incremental()
+
+    def _assert_reference_rates(self) -> None:
+        """Compare live rates against the scalar full-fill oracle
+        (exact equality — max-min decomposes over components with
+        identical arithmetic, so any drift is a bug)."""
+        expected = self.reference_rates()
+        actual = {tid: t.rate_mbps for tid, t in self._active.items()}
+        if actual != expected:
+            diff = {
+                tid: (actual.get(tid), expected.get(tid))
+                for tid in set(expected) | set(actual)
+                if actual.get(tid) != expected.get(tid)
+            }
+            raise AssertionError(
+                f"recompute diverged from the full-fill oracle at "
+                f"t={self.sim.now}: {diff}"
+            )

@@ -80,6 +80,18 @@ class TestSectionValidation:
         with pytest.raises(ValueError, match="transfer model"):
             TransferSpec(model="psychic")
 
+    def test_unknown_recompute_mode_rejected(self):
+        with pytest.raises(ValueError, match="recompute mode"):
+            TransferSpec(model="time-resolved", recompute="psychic")
+
+    def test_incremental_recompute_needs_time_resolved(self):
+        with pytest.raises(ValueError, match="time-resolved"):
+            TransferSpec(
+                model=TransferModel.ANALYTIC, recompute="incremental"
+            )
+        spec = TransferSpec(model="time-resolved", recompute="incremental")
+        assert spec.recompute == "incremental"
+
     def test_unknown_discovery_rejected(self):
         with pytest.raises(ValueError, match="discovery"):
             DiscoverySpec(backend="psychic")
@@ -196,6 +208,7 @@ def _transfers_and_chunks():
             TransferSpec,
             model=st.just(TransferModel.TIME_RESOLVED),
             upload_budget=st.one_of(st.none(), st.integers(1, 8)),
+            recompute=st.sampled_from(("full", "incremental")),
         ),
         st.builds(
             ChunkSpec,
@@ -367,6 +380,18 @@ class TestPresets:
             enabled=True, size_bytes=16_000_000, parallel=4
         )
         assert spec.transfer.model is TransferModel.TIME_RESOLVED
+
+    def test_swarm_scale_preset_uses_incremental_engine(self):
+        spec = scenarios.get("p2p-swarm-scale")
+        assert spec.transfer.model is TransferModel.TIME_RESOLVED
+        assert spec.transfer.recompute == "incremental"
+        assert spec.topology.n_devices == 1000
+        assert spec.workload.kind == "cold-waves"
+        # No hub/regional egress shaping: a shared registry uplink
+        # would couple every pull into one connected component and
+        # defeat the closure-local recompute the preset exercises.
+        assert spec.topology.hub_egress_mbps is None
+        assert spec.topology.regional_egress_mbps is None
 
     def test_derived_variants_via_replace(self):
         base = scenarios.get("p2p")

@@ -19,6 +19,7 @@ from repro.model.network import NetworkModel
 from repro.model.units import MBIT_PER_MB, bytes_to_mb
 from repro.sim.engine import Simulator
 from repro.sim.transfers import (
+    InflightCollision,
     TransferCancelled,
     TransferEngine,
     TransferModel,
@@ -221,6 +222,89 @@ class TestUploadBudgets:
         assert engine.completed == 2
 
 
+class TestInflightCollision:
+    def test_same_digest_to_same_device_collides(self):
+        """Regression: a second start for an in-flight ``(dst, digest)``
+        used to silently overwrite the join-bookkeeping entry, so the
+        first transfer kept moving bytes but became unjoinable — two
+        payloads on the wire for one layer."""
+        network = star_network()
+        sim = Simulator()
+        engine = TransferEngine(sim, network)
+        first = engine.start(
+            "origin", "d0", 100 * MB, src_is_registry=True, digest="sha:aa"
+        )
+        with pytest.raises(InflightCollision):
+            engine.start("d1", "d0", 100 * MB, digest="sha:aa")
+        assert engine.inflight_to("d0", "sha:aa") is first
+        # The refused start consumed no upload slot on its source.
+        assert engine.uploads_in_flight("d1") == 0
+
+    def test_distinct_device_or_digest_does_not_collide(self):
+        network = star_network()
+        sim = Simulator()
+        engine = TransferEngine(sim, network)
+        engine.start(
+            "origin", "d0", 10 * MB, src_is_registry=True, digest="sha:aa"
+        )
+        engine.start(
+            "origin", "d1", 10 * MB, src_is_registry=True, digest="sha:aa"
+        )
+        engine.start(
+            "origin", "d0", 10 * MB, src_is_registry=True, digest="sha:bb"
+        )
+        # Undigested transfers never participate in join bookkeeping.
+        engine.start("origin", "d0", 10 * MB, src_is_registry=True)
+        engine.start("origin", "d0", 10 * MB, src_is_registry=True)
+        sim.run()
+        assert engine.completed == 5
+
+    def test_slot_frees_on_completion_and_on_cancel(self):
+        network = star_network()
+        sim = Simulator()
+        engine = TransferEngine(sim, network)
+        r = run_transfer(
+            sim, engine, "origin", "d0", 10 * MB,
+            src_is_registry=True, digest="sha:aa",
+        )
+        sim.run()
+        assert r["ok"] is True
+        assert engine.inflight_to("d0", "sha:aa") is None
+        again = engine.start(
+            "origin", "d0", 10 * MB, src_is_registry=True, digest="sha:aa"
+        )
+        engine.cancel(again, "test")
+        assert engine.inflight_to("d0", "sha:aa") is None
+        engine.start(
+            "origin", "d0", 10 * MB, src_is_registry=True, digest="sha:aa"
+        )
+
+
+class TestPeakAccounting:
+    def test_peak_reflects_allocated_rate_sum(self):
+        """Regression: link utilisation was derived from the fill's
+        ``capacity_left`` residue, whose ``max(0.0, ...)`` clamp made
+        ``peak_oversubscription() <= 1.0`` true by construction — a
+        broken fill could never be flagged.  Utilisation is now the sum
+        of allocated rates over the link's transfers, so an
+        over-allocation is visible."""
+        network = star_network(uplink_mbps=100.0)
+        sim = Simulator()
+        engine = TransferEngine(sim, network)
+        engine.start("origin", "d0", 100 * MB, src_is_registry=True)
+        engine.start("origin", "d1", 100 * MB, src_is_registry=True)
+        uplink = engine.link("up:origin")
+        # The correct fill halves the shared uplink: utilisation 100.
+        assert uplink.peak_utilisation_mbps == pytest.approx(100.0)
+        assert engine.peak_oversubscription() <= 1.0 + 1e-9
+        # A (deliberately broken) allocation handing both transfers the
+        # full capacity must now register as 2x oversubscription.
+        for transfer in engine.active_transfers:
+            transfer.rate_mbps = 100.0
+        engine._record_peaks([uplink])
+        assert engine.peak_oversubscription() == pytest.approx(2.0)
+
+
 class TestCancellation:
     def test_cancel_fails_waiter_and_survivor_speeds_up(self):
         network = star_network(uplink_mbps=100.0)
@@ -283,6 +367,82 @@ class TestCancellation:
         sim.run()
         assert a["ok"] is False and b["ok"] is False
         assert c["ok"] is True
+
+    def test_cancel_many_skips_finished_and_counts_the_rest(self):
+        network = star_network()
+        sim = Simulator()
+        engine = TransferEngine(sim, network)
+        fast = run_transfer(
+            sim, engine, "origin", "d0", 1 * MB, src_is_registry=True
+        )
+        slow_a = run_transfer(
+            sim, engine, "origin", "d1", 500 * MB, src_is_registry=True
+        )
+        slow_b = run_transfer(sim, engine, "d2", "d3", 500 * MB)
+
+        def axe():
+            yield sim.timeout(5.0)  # fast finished long ago (0.1 s)
+            n = engine.cancel_many(
+                [t["transfer"] for t in (fast, slow_a, slow_b)], "batch"
+            )
+            assert n == 2
+
+        sim.process(axe())
+        sim.run()
+        assert fast["ok"] is True
+        assert slow_a["ok"] is False and slow_a["reason"] == "batch"
+        assert slow_b["ok"] is False
+        assert slow_a["end"] == pytest.approx(5.0)
+
+    def test_cancel_uploads_from_batches_into_one_recompute(self):
+        """Regression: a departing seeder with k uploads used to run
+        the settle + detach + recompute cycle k times.  The batch must
+        recompute exactly once — and the survivors' timelines must be
+        indistinguishable from the old sequential path (the cancels
+        all land at one instant, so no progress accrues between them).
+        """
+        def build():
+            network = star_network(n_devices=6, uplink_mbps=100.0)
+            sim = Simulator()
+            engine = TransferEngine(sim, network)
+            runs = [
+                run_transfer(sim, engine, "d0", "d1", 50 * MB),
+                run_transfer(sim, engine, "d0", "d2", 80 * MB),
+                run_transfer(sim, engine, "d0", "d3", 120 * MB),
+                run_transfer(
+                    sim, engine, "origin", "d1", 100 * MB,
+                    src_is_registry=True,
+                ),
+                run_transfer(sim, engine, "d4", "d5", 90 * MB),
+            ]
+            return sim, engine, runs
+
+        sim_a, engine_a, runs_a = build()
+
+        def axe_batched():
+            yield sim_a.timeout(2.0)
+            before = engine_a.recomputes
+            assert engine_a.cancel_uploads_from("d0", "churn") == 3
+            assert engine_a.recomputes == before + 1
+
+        sim_a.process(axe_batched())
+        sim_a.run()
+
+        sim_b, engine_b, runs_b = build()
+
+        def axe_sequential():
+            yield sim_b.timeout(2.0)
+            before = engine_b.recomputes
+            for record in runs_b[:3]:
+                assert engine_b.cancel(record["transfer"], "churn")
+            assert engine_b.recomputes == before + 3
+
+        sim_b.process(axe_sequential())
+        sim_b.run()
+
+        for batched, sequential in zip(runs_a, runs_b):
+            assert batched["ok"] == sequential["ok"]
+            assert batched["end"] == sequential["end"]
 
 
 # ----------------------------------------------------------------------
