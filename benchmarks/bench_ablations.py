@@ -1,6 +1,42 @@
-"""Benchmarks A1/A2: bandwidth sweep and cache/dedup ablations."""
+"""Benchmarks A1/A2 (bandwidth sweep, cache/dedup ablations) plus the
+two sweep-preset ablation studies the ROADMAP deferred to the sweep
+engine.
 
-from repro.experiments import ablations
+Run directly for the studies (``--quick`` shrinks each grid to a
+2 × 2 × 1-seed corner for the CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_ablations.py [--quick]
+
+* **replicator-policy** — demand-decay × hotness scope on the
+  layer-sharing workload; per-region hotness must never replicate
+  *more* bytes than global hotness on the same cell (it only narrows
+  where copies go).
+* **gossip-transport** — per-pair metadata latency × exchange mode;
+  the digest-summary exchange must reproduce the push-pull outcome
+  *exactly* (it is a semantics-preserving delta encoding) while
+  shipping strictly fewer view records over the wire.
+
+Both run through :func:`repro.sweep.run_sweep` (worker pool, fresh
+content-addressed cache) and land their throughput in
+``BENCH_sweep.json``.  The ``bench_*`` functions are pytest-benchmark
+micro-benchmarks of the paper-ablation experiments, matching the other
+``benchmarks/`` modules.
+"""
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for _p in (str(_HERE.parent / "src"), str(_HERE)):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from dataclasses import replace  # noqa: E402
+
+from repro.experiments import ablations  # noqa: E402
+from repro.sweep import get_sweep, run_sweep, write_bench_record  # noqa: E402
 
 
 def bench_ablation_cache_dedup(benchmark, testbed):
@@ -32,11 +68,126 @@ def bench_ablation_bandwidth_point(benchmark):
     assert len(result.rows) == 1
 
 
+# ----------------------------------------------------------------------
+# the sweep-preset studies
+# ----------------------------------------------------------------------
+def _cell_groups(rows, group_by, within):
+    """rows → {group key: {within value: row}} for pairwise checks."""
+    groups = {}
+    for row in rows:
+        key = tuple(row[column] for column in group_by)
+        groups.setdefault(key, {})[row[within]] = row
+    return groups
+
+
+def check_replicator_policy(rows) -> None:
+    """Per-region hotness only narrows *where* copies go, so on every
+    (decay, seed) cell it must not replicate more bytes than global
+    hotness — and somewhere on the grid it must replicate strictly
+    fewer (otherwise the scope knob is dead)."""
+    groups = _cell_groups(
+        rows, ("replication.decay", "seed"), "replication.hotness"
+    )
+    strictly_fewer = 0
+    for key, pair in groups.items():
+        per_region = pair["per-region"]["bytes_replicated"]
+        global_scope = pair["global"]["bytes_replicated"]
+        assert per_region <= global_scope, (
+            f"per-region hotness replicated more than global on {key}: "
+            f"{per_region} > {global_scope}"
+        )
+        strictly_fewer += per_region < global_scope
+    assert strictly_fewer > 0, (
+        "per-region hotness never changed replication volume — the "
+        "scope knob is not being exercised"
+    )
+
+
+def check_gossip_transport(rows) -> None:
+    """Digest-summary is a delta encoding of the same anti-entropy
+    exchange: on every (latency, seed) cell its traffic outcome must
+    match push-pull exactly while shipping strictly fewer records."""
+    groups = _cell_groups(
+        rows, ("discovery.gossip_latency_s", "seed"),
+        "discovery.gossip_exchange",
+    )
+    for key, pair in groups.items():
+        full, summary = pair["push-pull"], pair["digest-summary"]
+        for column in ("pulls", "origin_bytes", "bytes_from_peers",
+                       "stale_peer_misses", "makespan_s"):
+            assert full[column] == summary[column], (
+                f"digest-summary changed {column} on {key}: "
+                f"{full[column]} vs {summary[column]}"
+            )
+        assert summary["gossip_records_sent"] < full["gossip_records_sent"], (
+            f"digest-summary did not reduce wire records on {key}: "
+            f"{summary['gossip_records_sent']} vs "
+            f"{full['gossip_records_sent']}"
+        )
+
+
+def _shrink(sweep_spec):
+    """The 2 × 2 × 1-seed corner of a study grid (--quick)."""
+    axes = [
+        (path, (values[0], values[-1]) if len(values) > 2 else values)
+        for path, values in sweep_spec.axes
+    ]
+    return replace(sweep_spec, axes=axes, seeds=sweep_spec.seeds[:1])
+
+
+def _print_rows(rows, columns) -> None:
+    print(" ".join(f"{c:>26}" for c in columns))
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            cells.append(f"{v:>26.2f}" if isinstance(v, float) else f"{v:>26}")
+        print(" ".join(cells))
+
+
+def run_study(name: str, quick: bool, workers: int):
+    """One registered sweep preset, executed and recorded."""
+    spec = get_sweep(name)
+    if quick:
+        spec = _shrink(spec)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        result = run_sweep(spec, cache_dir=cache_dir, workers=workers)
+    record = write_bench_record(
+        f"bench_ablations[{name}]", result.stats, quick=quick
+    )
+    print(f"sweep {name}: {record}")
+    return result
+
+
+def main(argv=None) -> int:
+    from _smoke import parse_quick, smoke_main
+
+    quick = parse_quick(sys.argv[1:] if argv is None else list(argv))
+    workers = min(4, os.cpu_count() or 1)
+
+    print("== replicator-policy study (demand-decay × hotness scope) ==")
+    policy = run_study("replicator-policy", quick, workers)
+    _print_rows(policy.rows, [
+        "replication.decay", "replication.hotness", "seed",
+        "origin_bytes", "bytes_replicated", "stale_peer_misses",
+    ])
+    check_replicator_policy(policy.rows)
+    print("replicator-policy OK: per-region hotness only narrows "
+          "replication, never inflates it")
+
+    print("== gossip-transport study (metadata latency × exchange) ==")
+    transport = run_study("gossip-transport", quick, workers)
+    _print_rows(transport.rows, [
+        "discovery.gossip_latency_s", "discovery.gossip_exchange", "seed",
+        "origin_bytes", "stale_peer_misses", "gossip_records_sent",
+    ])
+    check_gossip_transport(transport.rows)
+    print("gossip-transport OK: digest-summary converges identically "
+          "with strictly fewer wire records")
+
+    # The paper-ablation micro-benchmarks, as before.
+    return smoke_main(globals(), [])
+
+
 if __name__ == "__main__":
-    import sys
-    from pathlib import Path
-
-    sys.path.insert(0, str(Path(__file__).resolve().parent))
-    from _smoke import smoke_main
-
-    raise SystemExit(smoke_main(globals(), sys.argv[1:]))
+    sys.exit(main())

@@ -10,10 +10,15 @@ Three parts:
 
 * **chunk size × swarm size grid** — ``hybrid+p2p`` under the
   time-resolved engine, single-source vs chunked, on the standard
-  layer-sharing workload.  Checks the chunked planner never pulls
-  *more* origin bytes than single-source, and reports wall time per
-  cell: small chunks × large swarms is where the engine's rate
-  recomputation cost shows (the chunk-size floor at scale).
+  layer-sharing workload.  The whole grid (plus the recompute twins
+  below) is ONE declarative :class:`repro.sweep.SweepSpec` — variant
+  bundles carry the swarm-size scaling rule — executed by
+  :func:`repro.sweep.run_sweep` through a worker pool with a fresh
+  content-addressed cell cache; throughput lands in
+  ``BENCH_sweep.json``.  Checks the chunked planner never pulls *more*
+  origin bytes than single-source; small chunks × large swarms is
+  where the engine's rate recomputation cost shows (the chunk-size
+  floor at scale).
 * **recompute-mode comparison** — the fine-chunk (8 MB) cell in both
   ``full`` and ``incremental`` fair-share recompute modes: outcomes
   must match exactly while incremental visits ≥10× fewer transfers at
@@ -27,8 +32,9 @@ Three parts:
   the other ``benchmarks/`` modules.
 """
 
+import os
 import sys
-import time
+import tempfile
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -51,13 +57,9 @@ from repro.registry.digest import digest_text  # noqa: E402
 from repro.registry.hub import DockerHub  # noqa: E402
 from repro.registry.p2p import PeerSwarm  # noqa: E402
 from repro import scenarios  # noqa: E402
-from repro.scenarios import (  # noqa: E402
-    ChunkSpec,
-    SimulationSession,
-    TransferSpec,
-    build_swarm_scenario,
-)
+from repro.scenarios import TransferSpec  # noqa: E402
 from repro.sim.transfers import TransferModel  # noqa: E402
+from repro.sweep import SweepSpec, run_sweep, write_bench_record  # noqa: E402
 
 MB = 1_000_000
 
@@ -68,81 +70,134 @@ SWEEP_SIZES = (10, 100, 1000)
 CHUNK_SIZES = (8 * MB, 32 * MB, 128 * MB)
 
 
-def _sweep_cell(
-    n_devices: int, chunk_size_bytes: int, recompute: str = "full"
-) -> dict:
-    """One grid cell: single-source vs chunked on the same scenario."""
+def _variant_name(n: int, chunk_size, recompute: str) -> str:
+    suffix = "single" if chunk_size is None else f"c{chunk_size // MB}"
+    if recompute != "full":
+        suffix += f"/{recompute}"
+    return f"n{n}/{suffix}"
+
+
+def _variant_bundle(n: int, chunk_size, recompute: str) -> dict:
+    """One grid cell as a dotted-override bundle.
+
+    The swarm-size scaling rule (regions and catalogue growing with the
+    swarm) is ``bench_p2p._scenario_spec``'s — re-read from it so the
+    two benches can never drift apart.
+    """
+    sized = _scenario_spec(n)
+    bundle = {
+        "topology.n_devices": sized.topology.n_devices,
+        "topology.n_regions": sized.topology.n_regions,
+        "workload.n_images": sized.workload.n_images,
+        "transfer.recompute": recompute,
+    }
+    if chunk_size is not None:
+        bundle["chunks.enabled"] = True
+        bundle["chunks.size_bytes"] = chunk_size
+    return bundle
+
+
+def chunk_sweep(
+    grid_sizes, grid_chunks, scale_chunks, recompute_cell
+) -> SweepSpec:
+    """The whole bench as one declarative sweep.
+
+    Variants: per grid size, a single-source baseline plus one chunked
+    cell per chunk size; the 1000-device scale cells; and the
+    ``recompute_cell`` (n, chunk_size) twinned under incremental
+    fair-share recompute (baseline included — the comparison also
+    checks incremental recompute leaves the *single-source* outcome
+    untouched).
+    """
+    variants = {}
+    for n, chunks in [(n, grid_chunks) for n in grid_sizes] + [
+        (1000, scale_chunks)
+    ]:
+        variants[_variant_name(n, None, "full")] = (
+            _variant_bundle(n, None, "full")
+        )
+        for chunk_size in chunks:
+            variants[_variant_name(n, chunk_size, "full")] = (
+                _variant_bundle(n, chunk_size, "full")
+            )
+    inc_n, inc_chunk = recompute_cell
+    for chunk_size in (None, inc_chunk):
+        variants[_variant_name(inc_n, chunk_size, "incremental")] = (
+            _variant_bundle(inc_n, chunk_size, "incremental")
+        )
     base = _scenario_spec(
-        n_devices,
+        grid_sizes[0],
         transfer=TransferSpec(
-            model=TransferModel.TIME_RESOLVED,
-            upload_budget=4,
-            recompute=recompute,
+            model=TransferModel.TIME_RESOLVED, upload_budget=4
         ),
     )
-    scenario = build_swarm_scenario(base)
-    single = SimulationSession(base, scenario=scenario).run()
-    started = time.perf_counter()
-    session = SimulationSession(
-        replace(base, chunks=ChunkSpec(
-            enabled=True, size_bytes=chunk_size_bytes
-        )),
-        scenario=scenario,
+    return SweepSpec(
+        name="chunk-grid",
+        description=(
+            "single-source vs chunked origin traffic across chunk size "
+            "× swarm size, plus the recompute-mode twin cells"
+        ),
+        base=base,
+        variants=variants,
+        seeds=(base.seed,),
     )
-    chunked = session.run()
-    chunked_wall_s = time.perf_counter() - started
+
+
+def derive_row(by_variant: dict, n: int, chunk_size: int,
+               recompute: str = "full") -> dict:
+    """One single-vs-chunked comparison row off the sweep aggregate."""
+    single = by_variant[_variant_name(n, None, recompute)]
+    chunked = by_variant[_variant_name(n, chunk_size, recompute)]
     return dict(
-        devices=n_devices,
-        chunk_mb=chunk_size_bytes // MB,
+        devices=n,
+        chunk_mb=chunk_size // MB,
         recompute=recompute,
-        pulls=chunked.pulls,
-        single_origin_gb=single.origin_bytes / BYTES_PER_GB,
-        chunked_origin_gb=chunked.origin_bytes / BYTES_PER_GB,
-        single_peer_gb=single.bytes_from_peers / BYTES_PER_GB,
-        chunked_peer_gb=chunked.bytes_from_peers / BYTES_PER_GB,
-        endgame_dupes=chunked.chunk_endgame_dupes,
-        wasted_mb=chunked.bytes_wasted / MB,
-        visited=session.engine.transfers_visited,
-        chunked_wall_s=chunked_wall_s,
+        pulls=chunked["pulls"],
+        single_origin_gb=single["origin_bytes"] / BYTES_PER_GB,
+        chunked_origin_gb=chunked["origin_bytes"] / BYTES_PER_GB,
+        single_peer_gb=single["bytes_from_peers"] / BYTES_PER_GB,
+        chunked_peer_gb=chunked["bytes_from_peers"] / BYTES_PER_GB,
+        endgame_dupes=chunked["chunk_endgame_dupes"],
+        wasted_mb=chunked["bytes_wasted"] / MB,
+        visited=chunked["engine_transfers_visited"],
     )
 
 
-def run_grid(
-    sizes=SWEEP_SIZES, chunk_sizes=CHUNK_SIZES, recompute: str = "full"
-) -> list:
-    rows = []
-    for n in sizes:
-        for chunk_size in chunk_sizes:
-            rows.append(_sweep_cell(n, chunk_size, recompute=recompute))
-    return rows
+def makespan_sweep(
+    n_devices: int = 8, chunk_size_bytes: int = 16 * MB
+) -> SweepSpec:
+    """Contended cold wave: the makespan headline, as a 2-cell sweep.
 
-
-def run_makespan(n_devices: int = 8, chunk_size_bytes: int = 16 * MB) -> dict:
-    """Contended cold wave: the makespan headline.
-
-    The scenario is the ``p2p-contended`` preset (time-resolved engine,
+    The base is the ``p2p-contended`` preset (time-resolved engine,
     upload budget 2, NIC/egress shaping) resized to ``n_devices``.
     """
     preset = scenarios.get("p2p-contended")
-    out = {}
-    for chunked in (False, True):
-        spec = replace(
-            preset,
-            topology=replace(preset.topology, n_devices=n_devices),
-            chunks=ChunkSpec(
-                enabled=chunked, size_bytes=chunk_size_bytes
-            ),
-        )
-        out[chunked] = SimulationSession(spec).run()
-    single, chunked_run = out[False], out[True]
+    return SweepSpec(
+        name="chunk-makespan",
+        description="single-source vs chunked cold-wave makespan",
+        base=preset,
+        variants={
+            "single": {"topology.n_devices": n_devices},
+            "chunked": {
+                "topology.n_devices": n_devices,
+                "chunks.enabled": True,
+                "chunks.size_bytes": chunk_size_bytes,
+            },
+        },
+        seeds=(preset.seed,),
+    )
+
+
+def derive_makespan(by_variant: dict, n_devices: int = 8) -> dict:
+    single, chunked = by_variant["single"], by_variant["chunked"]
     return dict(
         devices=n_devices,
-        single_makespan_s=single.longest_pull_s,
-        chunked_makespan_s=chunked_run.longest_pull_s,
+        single_makespan_s=single["longest_pull_s"],
+        chunked_makespan_s=chunked["longest_pull_s"],
         speedup_pct=100.0
-        * (1.0 - chunked_run.longest_pull_s / single.longest_pull_s),
-        single_origin_gb=single.origin_bytes / BYTES_PER_GB,
-        chunked_origin_gb=chunked_run.origin_bytes / BYTES_PER_GB,
+        * (1.0 - chunked["longest_pull_s"] / single["longest_pull_s"]),
+        single_origin_gb=single["origin_bytes"] / BYTES_PER_GB,
+        chunked_origin_gb=chunked["origin_bytes"] / BYTES_PER_GB,
     )
 
 
@@ -286,48 +341,62 @@ def main(argv=None) -> int:
         grid_sizes = (10,)
         grid_chunks = (8 * MB, 32 * MB)
         scale_chunks = (128 * MB,)
+        recompute_cell, ratio_min = (10, 8 * MB), 1.0
     else:
         grid_sizes = (10, 100)
         grid_chunks = CHUNK_SIZES
         scale_chunks = CHUNK_SIZES
+        recompute_cell, ratio_min = (1000, 8 * MB), VISITED_RATIO_MIN
+    workers = min(4, os.cpu_count() or 1)
 
     print("== contended cold wave: single-source vs chunked makespan ==")
-    wave = run_makespan()
+    wave_result = run_sweep(makespan_sweep(), workers=workers)
+    wave = derive_makespan(
+        {row["variant"]: row for row in wave_result.rows}
+    )
     _print_rows([wave])
     check_makespan(wave)
     print(f"makespan OK: chunked wave {wave['speedup_pct']:.1f}% faster")
 
+    # One sweep covers the grid, the 1000-device scale cells (kept even
+    # under --quick: sustaining four-digit swarms is the acceptance
+    # criterion; only the coarsest chunking, whose engine cost is
+    # lowest — finer chunks multiply transfer starts/finishes and the
+    # fair-share recompute behind them, the chunk-size floor at scale)
+    # and the incremental-recompute twin cells.
+    sweep = chunk_sweep(grid_sizes, grid_chunks, scale_chunks,
+                        recompute_cell)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        result = run_sweep(sweep, cache_dir=cache_dir, workers=workers)
+    record = write_bench_record("bench_chunks", result.stats, quick=quick)
+    print(f"sweep {sweep.name}: {record}")
+    by_variant = {row["variant"]: row for row in result.rows}
+
     print("== chunk size × swarm size grid ==")
-    grid = run_grid(sizes=grid_sizes, chunk_sizes=grid_chunks)
+    grid = [
+        derive_row(by_variant, n, chunk_size)
+        for n in grid_sizes for chunk_size in grid_chunks
+    ]
     _print_rows(grid)
     check_grid(grid)
     print("grid OK: chunked origin traffic never exceeds single-source")
 
-    # The 1000-device sweep runs in BOTH modes (acceptance criterion);
-    # --quick keeps only the coarsest chunking, whose engine cost is
-    # lowest — finer chunks multiply transfer starts/finishes and the
-    # fair-share recompute behind them (the chunk-size floor at scale).
     print(f"== scale sweep (1000 devices × {len(scale_chunks)} chunk size(s)) ==")
-    scale = run_grid(sizes=(1000,), chunk_sizes=scale_chunks)
+    scale = [
+        derive_row(by_variant, 1000, chunk_size)
+        for chunk_size in scale_chunks
+    ]
     _print_rows(scale)
     check_grid(scale)
     print("scale OK: chunked swarm scheduling sustained 1000 devices")
 
-    # Recompute-mode differential on the fine-chunk (8 MB) cell: reuse
-    # the full-mode row already measured above and add the incremental
-    # twin.  --quick compares the small grid cell (outcome equality is
-    # the cheap CI sanity); the full run compares the 1000-device cell
-    # and requires the >=10x visited-work ratio.
-    if quick:
-        full_row = next(
-            r for r in grid if r["devices"] == 10 and r["chunk_mb"] == 8
-        )
-        inc_row = _sweep_cell(10, 8 * MB, recompute="incremental")
-        ratio_min = 1.0
-    else:
-        full_row = next(r for r in scale if r["chunk_mb"] == 8)
-        inc_row = _sweep_cell(1000, 8 * MB, recompute="incremental")
-        ratio_min = VISITED_RATIO_MIN
+    # Recompute-mode differential on the fine-chunk (8 MB) cell.
+    # --quick compares the small grid cell (outcome equality is the
+    # cheap CI sanity); the full run compares the 1000-device cell and
+    # requires the >=10x visited-work ratio.
+    inc_n, inc_chunk = recompute_cell
+    full_row = derive_row(by_variant, inc_n, inc_chunk)
+    inc_row = derive_row(by_variant, inc_n, inc_chunk, "incremental")
     print("== recompute-mode comparison (fine-chunk cell) ==")
     _print_rows([full_row, inc_row])
     check_recompute_modes(full_row, inc_row, ratio_min)

@@ -5,9 +5,11 @@ to a 10-device swarm for the CI smoke job)::
 
     PYTHONPATH=src python benchmarks/bench_gossip.py [--quick]
 
-Three sweeps, all comparing ``hybrid+p2p`` origin-traffic savings
-(vs the peer-less ``hybrid`` baseline) under omniscient vs gossip
-discovery:
+The grids are **sweep declarations** — one :class:`repro.sweep.SweepSpec`
+whose variants cover the hybrid / omniscient / gossip comparison cells,
+executed by :func:`repro.sweep.run_sweep` (worker pool, content-
+addressed cell cache) — and the comparison rows are derived from the
+sweep's tidy aggregate:
 
 * **fanout × period grid** at a fixed churn rate — how much anti-
   entropy budget the views need before the swarm stops leaving peer
@@ -19,13 +21,19 @@ discovery:
 * **scale run** to 1000 devices (full mode only) — the anti-entropy
   loop must sustain four-digit swarms.
 
+``--quick`` also re-runs the grid through a 2-process pool against a
+fresh cache and asserts the parallel aggregate is byte-identical to
+the serial one; the run's throughput lands in ``BENCH_sweep.json``
+(:func:`repro.sweep.write_bench_record`).
+
 The ``bench_*`` functions are pytest-benchmark micro-benchmarks of the
 gossip hot paths (round execution, view lookup), matching the other
 ``benchmarks/`` modules.
 """
 
+import os
 import sys
-import time
+import tempfile
 from pathlib import Path
 
 _HERE = Path(__file__).resolve().parent
@@ -33,7 +41,7 @@ for _p in (str(_HERE.parent / "src"), str(_HERE)):
     if _p not in sys.path:
         sys.path.insert(0, _p)
 
-from dataclasses import replace  # noqa: E402
+from dataclasses import asdict, replace  # noqa: E402
 
 from bench_p2p import _scenario_spec  # noqa: E402 - shared scaling rule
 from repro.model.units import BYTES_PER_GB  # noqa: E402
@@ -42,12 +50,8 @@ from repro.registry.digest import digest_text  # noqa: E402
 from repro.registry.discovery import GossipDiscovery  # noqa: E402
 from repro.registry.p2p import PeerSwarm  # noqa: E402
 from repro.model.network import NetworkModel  # noqa: E402
-from repro.scenarios import (  # noqa: E402
-    ChurnSpec,
-    DiscoverySpec,
-    SimulationSession,
-    build_swarm_scenario,
-)
+from repro.scenarios import ChurnSpec  # noqa: E402
+from repro.sweep import SweepSpec, run_sweep, write_bench_record  # noqa: E402
 
 #: Churn regimes swept (label, spec).  min_online is scaled down for
 #: --quick swarms in ``_churn_for``.
@@ -71,60 +75,115 @@ def _churn_for(spec, n_devices: int):
     )
 
 
-def _compare(n_devices: int, churn, fanout: int, period_s: float) -> dict:
-    """One cell: hybrid baseline vs p2p under both discovery backends."""
-    base = _scenario_spec(n_devices, churn=_churn_for(churn, n_devices))
-    scenario = build_swarm_scenario(base)
-    hybrid = SimulationSession(
-        replace(base, mode="hybrid"), scenario=scenario
-    ).run()
-    omni = SimulationSession(base, scenario=scenario).run()
-    started = time.perf_counter()
-    gossip = SimulationSession(
-        replace(base, discovery=DiscoverySpec(
-            backend="gossip",
-            gossip_fanout=fanout,
-            gossip_period_s=period_s,
-        )),
-        scenario=scenario,
-    ).run()
-    gossip_wall_s = time.perf_counter() - started
-    origin = hybrid.origin_bytes
-    return dict(
-        churned=base.churn is not None,
-        devices=n_devices,
-        fanout=fanout,
-        period_s=period_s,
-        pulls=gossip.pulls,
-        skipped=gossip.skipped_pulls,
-        omni_saved_pct=100.0 * (origin - omni.origin_bytes) / origin,
-        gossip_saved_pct=100.0 * (origin - gossip.origin_bytes) / origin,
-        gap_gb=(gossip.origin_bytes - omni.origin_bytes) / BYTES_PER_GB,
-        stale_misses=gossip.stale_peer_misses,
-        omni_stale=omni.stale_peer_misses,
-        rounds=gossip.gossip_rounds,
-        departures=gossip.departures,
-        gossip_wall_s=gossip_wall_s,
+def _churn_value(spec, n_devices: int) -> dict:
+    """The churn overrides a variant bundle carries.
+
+    ``churn.<field>`` paths materialise a churn section on the
+    churn-free base; ``churn=None`` keeps it churn-free.
+    """
+    scaled = _churn_for(spec, n_devices)
+    if scaled is None:
+        return {"churn": None}
+    return {f"churn.{name}": value for name, value in asdict(scaled).items()}
+
+
+def _gossip_bundle(churn: dict, fanout: int, period_s: float) -> dict:
+    return dict(churn, **{
+        "discovery.backend": "gossip",
+        "discovery.gossip_fanout": fanout,
+        "discovery.gossip_period_s": period_s,
+    })
+
+
+def realism_sweep(
+    n_devices: int,
+    grid: bool = True,
+    churn_rates=CHURN_RATES,
+    fanout: int = 2,
+    period_s: float = 60.0,
+) -> SweepSpec:
+    """The discovery-realism matrix as one declarative sweep.
+
+    Per churn regime: a ``hybrid`` baseline (no peer tier), an
+    omniscient ``hybrid+p2p`` run, and one gossip run at the reference
+    (fanout, period).  With ``grid=True`` the moderate-churn regime
+    additionally gets every ``FANOUTS × PERIODS_S`` gossip cell.  The
+    hybrid/omniscient baselines are *shared* between the grid and the
+    churn sweep — the content-addressed cells make reuse free.
+    """
+    variants = {}
+    for label, churn in churn_rates:
+        value = _churn_value(churn, n_devices)
+        variants[f"{label}/hybrid"] = dict(value, mode="hybrid")
+        variants[f"{label}/omniscient"] = dict(value)
+        variants[f"{label}/gossip-f{fanout}-p{period_s:g}"] = (
+            _gossip_bundle(value, fanout, period_s)
+        )
+    if grid:
+        moderate = _churn_value(dict(churn_rates)["moderate"], n_devices)
+        for grid_fanout in FANOUTS:
+            for grid_period in PERIODS_S:
+                variants[f"moderate/gossip-f{grid_fanout}-p{grid_period:g}"] = (
+                    _gossip_bundle(moderate, grid_fanout, grid_period)
+                )
+    base = _scenario_spec(n_devices)
+    return SweepSpec(
+        name=f"gossip-realism-{n_devices}",
+        description=(
+            "hybrid / omniscient / gossip origin traffic per churn "
+            "regime, plus the fanout × period grid under moderate churn"
+        ),
+        base=base,
+        variants=variants,
+        seeds=(base.seed,),
     )
 
 
-def run_grid(n_devices: int, churn=CHURN_RATES[1][1]) -> list:
-    """Fanout × period sweep at one churn rate."""
-    rows = []
-    for fanout in FANOUTS:
-        for period_s in PERIODS_S:
-            rows.append(_compare(n_devices, churn, fanout, period_s))
-    return rows
+def _derive(by_variant: dict, n_devices: int, label: str,
+            fanout: int, period_s: float) -> dict:
+    """One comparison row (the bench's historical row shape) from the
+    sweep aggregate's hybrid / omniscient / gossip variant rows."""
+    hybrid = by_variant[f"{label}/hybrid"]
+    omni = by_variant[f"{label}/omniscient"]
+    gossip = by_variant[f"{label}/gossip-f{fanout}-p{period_s:g}"]
+    origin = hybrid["origin_bytes"]
+    return dict(
+        churned=label != "none",
+        churn=label,
+        devices=n_devices,
+        fanout=fanout,
+        period_s=period_s,
+        pulls=gossip["pulls"],
+        skipped=gossip["skipped_pulls"],
+        omni_saved_pct=100.0 * (origin - omni["origin_bytes"]) / origin,
+        gossip_saved_pct=100.0 * (origin - gossip["origin_bytes"]) / origin,
+        gap_gb=(gossip["origin_bytes"] - omni["origin_bytes"])
+        / BYTES_PER_GB,
+        stale_misses=gossip["stale_peer_misses"],
+        omni_stale=omni["stale_peer_misses"],
+        rounds=gossip["gossip_rounds"],
+        departures=gossip["departures"],
+    )
 
 
-def run_churn_sweep(n_devices: int, fanout: int = 2, period_s: float = 60.0):
-    """Churn-rate sweep at one gossip configuration."""
-    rows = []
-    for label, churn in CHURN_RATES:
-        row = _compare(n_devices, churn, fanout, period_s)
-        row["churn"] = label
-        rows.append(row)
-    return rows
+def derive_rows(result, n_devices: int, grid: bool = True,
+                churn_rates=CHURN_RATES,
+                fanout: int = 2, period_s: float = 60.0):
+    """(grid_rows, churn_rows) derived from one realism-sweep result."""
+    by_variant = {row["variant"]: row for row in result.rows}
+    grid_rows = []
+    if grid:
+        for grid_fanout in FANOUTS:
+            for grid_period in PERIODS_S:
+                grid_rows.append(_derive(
+                    by_variant, n_devices, "moderate",
+                    grid_fanout, grid_period,
+                ))
+    churn_rows = [
+        _derive(by_variant, n_devices, label, fanout, period_s)
+        for label, _churn in churn_rates
+    ]
+    return grid_rows, churn_rows
 
 
 def check_rows(rows) -> None:
@@ -158,7 +217,7 @@ def check_staleness_exercised(all_rows) -> None:
 def _print_rows(rows, extra=()) -> None:
     cols = ["devices", "fanout", "period_s", "pulls", "skipped",
             "omni_saved_pct", "gossip_saved_pct", "gap_gb",
-            "stale_misses", "rounds", "departures", "gossip_wall_s"]
+            "stale_misses", "rounds", "departures"]
     cols = list(extra) + cols
     print(" ".join(f"{c:>12}" for c in cols))
     for row in rows:
@@ -227,11 +286,22 @@ def main(argv=None) -> int:
     if quick:
         FANOUTS = (1, 2)
         PERIODS_S = (60.0, 480.0)
+    # Quick mode runs serial first so the determinism check below is a
+    # true serial-vs-parallel comparison; the full run uses the pool.
+    workers = 1 if quick else min(4, os.cpu_count() or 1)
+
+    sweep = realism_sweep(grid_n)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        result = run_sweep(sweep, cache_dir=cache_dir, workers=workers)
+    record = write_bench_record(
+        "bench_gossip", result.stats, devices=grid_n, quick=quick
+    )
+    print(f"sweep {sweep.name}: {record}")
+    grid, churn_rows = derive_rows(result, grid_n)
+    all_rows = []
 
     print(f"== gossip fanout × period grid ({grid_n} devices, "
           f"moderate churn) ==")
-    all_rows = []
-    grid = run_grid(grid_n)
     all_rows += grid
     _print_rows(grid)
     check_rows(grid)
@@ -243,7 +313,6 @@ def main(argv=None) -> int:
           f"(omniscient {grid[0]['omni_saved_pct']:.1f}%)")
 
     print(f"== churn sweep ({grid_n} devices, fanout=2, period=60 s) ==")
-    churn_rows = run_churn_sweep(grid_n)
     all_rows += churn_rows
     _print_rows(churn_rows, extra=("churn",))
     check_rows(churn_rows)
@@ -253,7 +322,19 @@ def main(argv=None) -> int:
     if not quick:
         print("== scale run (1000 devices, fanout=2, period=300 s, "
               "moderate churn) ==")
-        scale = [_compare(1000, CHURN_RATES[1][1], 2, 300.0)]
+        moderate = (("moderate", CHURN_RATES[1][1]),)
+        scale_sweep = realism_sweep(
+            1000, grid=False, churn_rates=moderate,
+            fanout=2, period_s=300.0,
+        )
+        scale_result = run_sweep(scale_sweep, workers=workers)
+        write_bench_record(
+            "bench_gossip_scale", scale_result.stats, devices=1000
+        )
+        _grid, scale = derive_rows(
+            scale_result, 1000, grid=False, churn_rates=moderate,
+            fanout=2, period_s=300.0,
+        )
         all_rows += scale
         _print_rows(scale)
         check_rows(scale)
@@ -263,6 +344,16 @@ def main(argv=None) -> int:
     print("staleness OK: stale-view misses were metered under churn")
 
     if quick:
+        # The sweep engine's determinism contract, proven on every CI
+        # smoke run: a 2-process pool against a fresh cache produces
+        # byte-for-byte the aggregate the serial run produced.
+        with tempfile.TemporaryDirectory() as cache_dir:
+            parallel = run_sweep(sweep, cache_dir=cache_dir, workers=2)
+        assert parallel.aggregate_json() == result.aggregate_json(), (
+            "parallel sweep aggregate diverged from the serial one"
+        )
+        print("determinism OK: 2-worker aggregate byte-identical")
+
         # The CI smoke job must also exercise this module's bench_*
         # micro-benchmarks, like every other benchmark script.
         from _smoke import smoke_main

@@ -19,10 +19,21 @@ Usage::
         --set transfer.model=time-resolved \\
         --set churn.mean_uptime_s=600             # one overridden session
 
+    python -m repro.cli sweep --list             # named sweep matrices
+    python -m repro.cli sweep gossip-transport \\
+        --workers 4 --cache-dir .sweep-cache     # a registered study
+    python -m repro.cli sweep p2p-gossip \\
+        --axis discovery.gossip_fanout=1,2,4 \\
+        --seeds 1,2 --workers 4                  # an ad-hoc grid
+    python -m repro.cli sweep my-grid.json       # a SweepSpec document
+
 The swarm experiments accept ``--seed`` to rerun under a different
 random workload/churn realisation, and every experiment (plus the
-``scenario`` subcommand) accepts ``--json`` to print machine-readable
-structured results instead of text tables.
+``scenario`` and ``sweep`` subcommands) accepts ``--json`` to print
+machine-readable structured results instead of text tables.  Sweeps
+fan cells across a worker pool and resume from the content-addressed
+results cache: re-running a finished sweep executes zero cells, and
+editing one axis re-runs only the new cells.
 
 The swarm experiment list (``p2p`` …) is derived from the scenario
 preset registry (:mod:`repro.scenarios`), so a newly registered
@@ -37,7 +48,7 @@ import json
 import sys
 from typing import Callable, Dict, List
 
-from . import scenarios
+from . import scenarios, sweep
 from .experiments import ablations, cloud, figure3a, figure3b, p2p, table2, table3
 from .experiments.runner import ExperimentResult
 from .sim.rng import DEFAULT_SEED
@@ -223,6 +234,127 @@ def _run_scenario_command(args) -> int:
     return 0
 
 
+def _sweep_list_text() -> str:
+    lines = ["== Sweep presets =="]
+    for preset in sweep.sweep_entries():
+        lines.append(f"{preset.name:20s} {preset.description}")
+    lines.append(
+        "run one with: repro sweep <name> [--workers N] [--cache-dir DIR]; "
+        "or build an ad-hoc grid from any scenario preset with "
+        "--axis section.field=v1,v2 [--seeds 1,2]"
+    )
+    return "\n".join(lines)
+
+
+def _sweep_text(result) -> str:
+    """A readable aggregate table (the text form of --json)."""
+    stats = result.stats
+    lines = [
+        f"== Sweep {result.sweep.name}: {stats.cells} cells "
+        f"(executed {stats.executed}, cache hits {stats.cache_hits}) "
+        f"workers={stats.workers} wall={stats.wall_s:.1f}s "
+        f"({stats.cells_per_s:.2f} cells/s) =="
+    ]
+    id_columns: List[str] = []
+    # The empty-label variant is a hidden base bundle, not an identity.
+    if any(label for label, _bundle in result.sweep.variants):
+        id_columns.append("variant")
+    id_columns.extend(path for path, _values in result.sweep.axes)
+    id_columns.append("seed")
+    headline = [
+        "pulls", "hit_ratio", "origin_bytes", "bytes_from_peers",
+        "makespan_s", "stale_peer_misses", "gossip_records_sent",
+    ]
+    columns = id_columns + [
+        name for name in headline if any(name in row for row in result.rows)
+    ]
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    table = [columns] + [
+        [fmt(row.get(column, "")) for column in columns]
+        for row in result.rows
+    ]
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    for line in table:
+        lines.append("  ".join(
+            cell.rjust(width) for cell, width in zip(line, widths)
+        ))
+    return "\n".join(lines)
+
+
+def _resolve_sweep_target(target: str) -> sweep.SweepSpec:
+    """A sweep preset name, a scenario preset name, or a JSON file."""
+    if target in sweep.sweep_names():
+        return sweep.get_sweep(target)
+    if target in scenarios.names():
+        return sweep.SweepSpec(name=target, preset=target)
+    if target.endswith(".json"):
+        with open(target) as handle:
+            return sweep.SweepSpec.from_dict(json.load(handle))
+    raise KeyError(
+        f"unknown sweep target {target!r}; known sweeps: "
+        f"{', '.join(sweep.sweep_names())}; scenario presets: "
+        f"{', '.join(scenarios.names())}; or a SweepSpec .json file"
+    )
+
+
+def _run_sweep_command(args) -> int:
+    if args.list:
+        if args.preset:
+            print("--list does not take a sweep name", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps([
+                {"name": preset.name, "description": preset.description}
+                for preset in sweep.sweep_entries()
+            ], indent=2))
+        else:
+            print(_sweep_list_text())
+        return 0
+    if not args.preset:
+        print(
+            "sweep needs a target (or --list); known sweeps: "
+            + ", ".join(sweep.sweep_names()),
+            file=sys.stderr,
+        )
+        return 2
+    import dataclasses
+
+    try:
+        spec = _resolve_sweep_target(args.preset)
+        if args.axis:
+            extra = sweep.parse_axis_flags(tuple(args.axis))
+            spec = dataclasses.replace(
+                spec, axes=tuple(spec.axes) + tuple(extra.items())
+            )
+        if args.seeds:
+            spec = dataclasses.replace(
+                spec, seeds=sweep.parse_seed_flag(args.seeds)
+            )
+        result = sweep.run_sweep(
+            spec, cache_dir=args.cache_dir, workers=args.workers
+        )
+    except (KeyError, ValueError, OSError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"sweep failed: {message}", file=sys.stderr)
+        return 2
+    if args.csv:
+        result.to_csv(args.csv)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(_sweep_text(result))
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,13 +362,20 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=all_targets() + ["all", "calibration", "scenario"],
-        help="which artefact to regenerate (or 'scenario' for one preset)",
+        choices=all_targets() + ["all", "calibration", "scenario", "sweep"],
+        help=(
+            "which artefact to regenerate (or 'scenario' for one preset, "
+            "'sweep' for an experiment matrix)"
+        ),
     )
     parser.add_argument(
         "preset",
         nargs="?",
-        help="preset name for the scenario subcommand (see scenario --list)",
+        help=(
+            "preset name for the scenario subcommand (see scenario "
+            "--list), or the sweep target: a sweep preset, a scenario "
+            "preset, or a SweepSpec .json file (see sweep --list)"
+        ),
     )
     parser.add_argument(
         "--seed",
@@ -256,7 +395,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--list",
         action="store_true",
-        help="with 'scenario': list the named presets and exit",
+        help="with 'scenario' or 'sweep': list the named presets and exit",
     )
     parser.add_argument(
         "--set",
@@ -270,20 +409,72 @@ def main(argv: List[str] = None) -> int:
             "--set churn.mean_uptime_s=600"
         ),
     )
+    parser.add_argument(
+        "--axis",
+        action="append",
+        dest="axis",
+        default=[],
+        metavar="SECTION.FIELD=V1,V2",
+        help=(
+            "with 'sweep': add one grid axis by dotted path with a "
+            "comma-separated value list (repeatable), e.g. "
+            "--axis discovery.gossip_fanout=1,2,4"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        metavar="S1,S2",
+        help="with 'sweep': replace the sweep's seed list, e.g. --seeds 1,2",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with 'sweep': worker-process pool size (default 1: inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "with 'sweep': content-addressed results cache directory; "
+            "re-runs load finished cells from here instead of executing"
+        ),
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="with 'sweep': also write the aggregate rows as CSV",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="with 'sweep': also write the full JSON document to a file",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "scenario":
         return _run_scenario_command(args)
+    if args.experiment == "sweep":
+        return _run_sweep_command(args)
     if args.preset is not None:
         print(
-            f"a preset argument only applies to the scenario subcommand "
-            f"(got {args.preset!r})",
+            f"a preset argument only applies to the scenario/sweep "
+            f"subcommands (got {args.preset!r})",
             file=sys.stderr,
         )
         return 2
     if args.overrides or args.list:
         print(
-            "--set/--list only apply to the scenario subcommand",
+            "--set/--list only apply to the scenario/sweep subcommands",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.axis or args.seeds or args.workers != 1 or args.cache_dir
+            or args.csv or args.out):
+        print(
+            "--axis/--seeds/--workers/--cache-dir/--csv/--out only apply "
+            "to the sweep subcommand",
             file=sys.stderr,
         )
         return 2

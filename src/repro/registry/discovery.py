@@ -175,6 +175,8 @@ class GossipDiscovery(DiscoveryBackend):
         view_cap: int = 8,
         seed: int = 0,
         observer: str = "__management__",
+        latency_s: float = 0.0,
+        exchange: str = "push-pull",
     ) -> None:
         if fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {fanout}")
@@ -182,10 +184,26 @@ class GossipDiscovery(DiscoveryBackend):
             raise ValueError(f"period_s must be > 0, got {period_s}")
         if view_cap < 1:
             raise ValueError(f"view_cap must be >= 1, got {view_cap}")
+        if latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {latency_s}")
+        if exchange not in ("push-pull", "digest-summary"):
+            raise ValueError(
+                f"unknown exchange {exchange!r}; expected 'push-pull' or "
+                f"'digest-summary'"
+            )
         self.sim = sim
         self.fanout = fanout
         self.period_s = period_s
         self.view_cap = view_cap
+        #: Per-pair metadata transport latency: exchanged payloads land
+        #: this many simulated seconds after the round fires (0 =
+        #: instantaneous, the historical model).  Needs a bound
+        #: simulator; synchronous test rounds deliver immediately.
+        self.latency_s = latency_s
+        #: ``"push-pull"`` ships full payloads; ``"digest-summary"``
+        #: ships only records strictly newer than what the receiver
+        #: already holds (identical merge result, fewer wire records).
+        self.exchange = exchange
         self.observer = observer
         self._rng = np.random.default_rng(seed)
         # viewer -> digest -> holder -> record (second-hand knowledge;
@@ -205,6 +223,10 @@ class GossipDiscovery(DiscoveryBackend):
         self.rounds = 0
         self.exchanges = 0
         self.stale_misses = 0
+        #: Full view records shipped over the metadata plane (both
+        #: directions of every exchange) — the wire cost the
+        #: digest-summary mode exists to cut.
+        self.records_sent = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -327,6 +349,7 @@ class GossipDiscovery(DiscoveryBackend):
         if len(names) < 2:
             return
         payloads = {name: self._payload(name) for name in names}
+        deliveries: List[Tuple[str, str]] = []  # (receiver, sender)
         for name in names:
             others = [p for p in names if p != name]
             k = min(self.fanout, len(others))
@@ -334,17 +357,54 @@ class GossipDiscovery(DiscoveryBackend):
             for idx in sorted(int(i) for i in partners):
                 partner = others[idx]
                 self.exchanges += 1
-                self._merge(partner, payloads[name])
-                self._merge(name, payloads[partner])
+                deliveries.append((partner, name))
+                deliveries.append((name, partner))
+        if self.latency_s > 0 and self.sim is not None:
+            # Metadata takes time to cross the wire: the whole round's
+            # payloads (snapshotted above) land latency_s later, so
+            # views lag reality by a period *plus* the transport.
+            self.sim.process(self._deliver_later(deliveries, payloads))
+        else:
+            for receiver, sender in deliveries:
+                self._deliver(receiver, payloads[sender])
         self.rounds += 1
+
+    def _deliver_later(self, deliveries, payloads):
+        yield self.sim.timeout(self.latency_s, daemon=True)
+        for receiver, sender in deliveries:
+            self._deliver(receiver, payloads[sender])
+
+    def _deliver(
+        self, receiver: str, payload: List[Tuple[str, str, ViewRecord]]
+    ) -> None:
+        """Apply one directed payload, metering wire records.
+
+        Under ``digest-summary`` only the records strictly newer than
+        the receiver's current knowledge cross the wire (the summary
+        handshake filters the rest) — the merge result is identical to
+        a full push-pull because :meth:`_merge` discards non-newer
+        records anyway; only the metered ``records_sent`` differs.
+        """
+        view = self._views.get(receiver)
+        if view is None:
+            return  # receiver departed before delivery
+        if self.exchange == "digest-summary":
+            payload = [
+                (holder, digest, record)
+                for holder, digest, record in payload
+                if holder != receiver
+                and _newer(record, view.get(digest, {}).get(holder))
+            ]
+        self.records_sent += len(payload)
+        self._merge(receiver, payload)
 
     def _exchange(self, a: str, b: str) -> None:
         """One immediate push-pull between ``a`` and ``b`` (tests)."""
         self.exchanges += 1
         payload_a = self._payload(a)
         payload_b = self._payload(b)
-        self._merge(b, payload_a)
-        self._merge(a, payload_b)
+        self._deliver(b, payload_a)
+        self._deliver(a, payload_b)
 
     def _payload(self, name: str) -> List[Tuple[str, str, ViewRecord]]:
         """Everything ``name`` knows: first-hand state + its view."""

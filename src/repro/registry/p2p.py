@@ -1070,6 +1070,7 @@ class AdaptiveReplicator:
         max_actions_per_cycle: int = 64,
         engine: Optional[TransferEngine] = None,
         churn: Optional["ChurnProcess"] = None,
+        hotness: str = "global",
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -1077,6 +1078,11 @@ class AdaptiveReplicator:
             raise ValueError(f"target_replicas must be >= 1, got {target_replicas}")
         if not 0.0 <= decay < 1.0:
             raise ValueError(f"decay must be in [0, 1), got {decay}")
+        if hotness not in ("global", "per-region"):
+            raise ValueError(
+                f"unknown hotness scope {hotness!r}; expected 'global' or "
+                f"'per-region'"
+            )
         self.sim = sim
         self.swarm = swarm
         self.interval_s = interval_s
@@ -1097,6 +1103,12 @@ class AdaptiveReplicator:
         #: a churn process (or before any departure is observed) every
         #: weight is 1.0 — bit-for-bit the historical behaviour.
         self.churn = churn
+        #: ``"global"`` (the historical policy): a digest whose
+        #: swarm-wide score clears ``hot_threshold`` is topped up in
+        #: *every* region.  ``"per-region"``: a region only receives a
+        #: proactive copy when its own demand score clears the
+        #: threshold — colder regions wait for their first pull.
+        self.hotness = hotness
         self.history: List[ReplicatorCycle] = []
         self.bytes_replicated = 0
         self._scores: Dict[Tuple[str, str], float] = {}
@@ -1135,10 +1147,26 @@ class AdaptiveReplicator:
         swarm_score: Dict[str, float] = {}
         for (digest, _region), score in scores.items():
             swarm_score[digest] = swarm_score.get(digest, 0.0) + score
-        hot = sorted(
-            (d for d, score in swarm_score.items() if score >= self.hot_threshold),
-            key=lambda d: (-swarm_score[d], d),
-        )
+        if self.hotness == "per-region":
+            # A (digest, region) pair is hot only on that region's own
+            # decayed demand; hot digests are those hot *somewhere*,
+            # ranked by swarm-wide score exactly like the global policy
+            # so the two scopes stay comparable cycle for cycle.
+            hot_pairs = {
+                key for key, score in scores.items()
+                if score >= self.hot_threshold
+            }
+            hot = sorted(
+                {digest for digest, _region in hot_pairs},
+                key=lambda d: (-swarm_score[d], d),
+            )
+        else:
+            hot_pairs = None
+            hot = sorted(
+                (d for d, score in swarm_score.items()
+                 if score >= self.hot_threshold),
+                key=lambda d: (-swarm_score[d], d),
+            )
         actions: List[ReplicationAction] = []
         for digest in hot:
             if len(actions) >= self.max_actions_per_cycle:
@@ -1146,6 +1174,8 @@ class AdaptiveReplicator:
             for region in self.swarm.regions():
                 if len(actions) >= self.max_actions_per_cycle:
                     break
+                if hot_pairs is not None and (digest, region) not in hot_pairs:
+                    continue
                 action = self._replicate(digest, region)
                 if action is not None:
                     actions.append(action)

@@ -29,6 +29,8 @@ from .presets import (
 from .session import ModeOutcome, SimulationSession
 from .spec import (
     DISCOVERY_BACKENDS,
+    GOSSIP_EXCHANGES,
+    HOTNESS_SCOPES,
     MODES,
     WORKLOAD_KINDS,
     ChunkSpec,
@@ -39,12 +41,16 @@ from .spec import (
     TopologySpec,
     TransferSpec,
     WorkloadSpec,
+    canonical_hash,
+    canonical_json,
     parse_set_flags,
     with_overrides,
 )
 
 __all__ = [
     "DISCOVERY_BACKENDS",
+    "GOSSIP_EXCHANGES",
+    "HOTNESS_SCOPES",
     "MODES",
     "WORKLOAD_KINDS",
     "ChunkSpec",
@@ -62,6 +68,8 @@ __all__ = [
     "WorkloadSpec",
     "attach_experiment",
     "build_swarm_scenario",
+    "canonical_hash",
+    "canonical_json",
     "entries",
     "experiment",
     "experiment_names",

@@ -59,6 +59,9 @@ class ModeOutcome:
     rejoins: int = 0
     #: Anti-entropy rounds the gossip backend completed (0 omniscient).
     gossip_rounds: int = 0
+    #: View records shipped over the gossip metadata plane (0
+    #: omniscient) — the wire cost the digest-summary exchange cuts.
+    gossip_records_sent: int = 0
     #: Simulated time at which the *last* pull of the run completed —
     #: the cold-start makespan on a wave schedule (0 with no pulls).
     makespan_s: float = 0.0
@@ -71,6 +74,10 @@ class ModeOutcome:
     bytes_wasted: int = 0
     #: Duplicate chunk requests issued by the chunked endgame.
     chunk_endgame_dupes: int = 0
+    #: Transfers the time-resolved engine's fair-share recompute
+    #: visited over the run (0 analytic) — the work counter the
+    #: incremental-recompute acceptance ratio is measured on.
+    engine_transfers_visited: int = 0
 
     @property
     def origin_bytes(self) -> int:
@@ -103,10 +110,12 @@ class ModeOutcome:
             "departures": self.departures,
             "rejoins": self.rejoins,
             "gossip_rounds": self.gossip_rounds,
+            "gossip_records_sent": self.gossip_records_sent,
             "makespan_s": self.makespan_s,
             "longest_pull_s": self.longest_pull_s,
             "bytes_wasted": self.bytes_wasted,
             "chunk_endgame_dupes": self.chunk_endgame_dupes,
+            "engine_transfers_visited": self.engine_transfers_visited,
             "replicator": None,
         }
         if self.replicator is not None:
@@ -168,6 +177,8 @@ class SimulationSession:
                 fanout=spec.discovery.gossip_fanout,
                 period_s=spec.discovery.gossip_period_s,
                 view_cap=spec.discovery.gossip_view_cap,
+                latency_s=spec.discovery.gossip_latency_s,
+                exchange=spec.discovery.gossip_exchange,
                 seed=self.rng.derive_seed("p2p.gossip") % (2**32),
             )
             self.swarm = PeerSwarm(scenario.network, discovery=self.discovery)
@@ -221,6 +232,8 @@ class SimulationSession:
                 interval_s=spec.replication.interval_s,
                 hot_threshold=spec.replication.hot_threshold,
                 target_replicas=spec.replication.target_replicas,
+                decay=spec.replication.decay,
+                hotness=spec.replication.hotness,
                 engine=self.engine,
                 churn=(
                     self.churn_process
@@ -314,8 +327,11 @@ class SimulationSession:
         if churn_process is not None:
             outcome.departures = churn_process.departures
             outcome.rejoins = churn_process.rejoins
+        if engine is not None:
+            outcome.engine_transfers_visited = engine.transfers_visited
         if self.discovery is not None:
             outcome.gossip_rounds = self.discovery.rounds
+            outcome.gossip_records_sent = self.discovery.records_sent
             # Replicator-side misses are metered on the backend, not on
             # any pull result; fold the total in so the outcome's
             # counter matches the swarm-wide one.

@@ -31,9 +31,11 @@ benchmarks, and the CLI's ``--set dotted.path=value`` overrides (see
 
 from __future__ import annotations
 
+import difflib
+import hashlib
 import json
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..registry.chunks import DEFAULT_CHUNK_SIZE_BYTES
 from ..sim.churn import ChurnConfig
@@ -215,21 +217,44 @@ def _parse_transfer_model(value: Any) -> TransferModel:
         ) from None
 
 
+#: How gossip partners exchange knowledge. ``"push-pull"`` ships the
+#: full payload both ways (the historical default); ``"digest-summary"``
+#: first compares version summaries and ships only the records the
+#: partner actually lacks — identical convergence, far fewer records on
+#: the wire (metered as ``gossip_records_sent``).
+GOSSIP_EXCHANGES = ("push-pull", "digest-summary")
+
+#: The gossip knobs and the default each takes under backend="gossip".
+_GOSSIP_KNOB_DEFAULTS = {
+    "gossip_fanout": 2,
+    "gossip_period_s": 60.0,
+    "gossip_view_cap": 8,
+    "gossip_latency_s": 0.0,
+    "gossip_exchange": "push-pull",
+}
+
+
 @dataclass(frozen=True)
 class DiscoverySpec:
     """How devices learn which peers hold which layers.
 
     The gossip knobs (``gossip_fanout`` / ``gossip_period_s`` /
-    ``gossip_view_cap``) are only accepted with ``backend="gossip"``;
-    under gossip, unset knobs are normalised to the historical defaults
-    (fanout 2, period 60 s, view cap 8) so equal configurations compare
-    equal after round-tripping.
+    ``gossip_view_cap`` / ``gossip_latency_s`` / ``gossip_exchange``)
+    are only accepted with ``backend="gossip"``; under gossip, unset
+    knobs are normalised to the historical defaults (fanout 2, period
+    60 s, view cap 8, zero latency, full push-pull payloads) so equal
+    configurations compare equal after round-tripping.
+    ``gossip_latency_s`` models per-pair metadata delivery latency:
+    exchanged knowledge lands that many simulated seconds after the
+    round fires, so views lag reality by a period *plus* the transport.
     """
 
     backend: str = "omniscient"
     gossip_fanout: Optional[int] = None
     gossip_period_s: Optional[float] = None
     gossip_view_cap: Optional[int] = None
+    gossip_latency_s: Optional[float] = None
+    gossip_exchange: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in DISCOVERY_BACKENDS:
@@ -238,12 +263,9 @@ class DiscoverySpec:
                 f"{DISCOVERY_BACKENDS}"
             )
         if self.backend == "gossip":
-            if self.gossip_fanout is None:
-                object.__setattr__(self, "gossip_fanout", 2)
-            if self.gossip_period_s is None:
-                object.__setattr__(self, "gossip_period_s", 60.0)
-            if self.gossip_view_cap is None:
-                object.__setattr__(self, "gossip_view_cap", 8)
+            for name, default in _GOSSIP_KNOB_DEFAULTS.items():
+                if getattr(self, name) is None:
+                    object.__setattr__(self, name, default)
             if self.gossip_fanout < 1:
                 raise ValueError(
                     f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
@@ -253,11 +275,20 @@ class DiscoverySpec:
                 raise ValueError(
                     f"gossip_view_cap must be >= 1, got {self.gossip_view_cap}"
                 )
+            if self.gossip_latency_s < 0:
+                raise ValueError(
+                    f"gossip_latency_s must be >= 0, got "
+                    f"{self.gossip_latency_s}"
+                )
+            if self.gossip_exchange not in GOSSIP_EXCHANGES:
+                raise ValueError(
+                    f"unknown gossip_exchange {self.gossip_exchange!r}; "
+                    f"expected one of {GOSSIP_EXCHANGES}"
+                )
         else:
             set_knobs = [
                 name
-                for name in ("gossip_fanout", "gossip_period_s",
-                             "gossip_view_cap")
+                for name in _GOSSIP_KNOB_DEFAULTS
                 if getattr(self, name) is not None
             ]
             if set_knobs:
@@ -298,19 +329,32 @@ class ChurnSpec:
         )
 
 
+#: Where replication demand is judged hot.  ``"global"`` (the pinned
+#: historical policy) declares a digest hot on its *swarm-wide* decayed
+#: score and then tops every region up; ``"per-region"`` requires each
+#: region's own score to clear the threshold before that region
+#: receives a proactive copy.
+HOTNESS_SCOPES = ("global", "per-region")
+
+
 @dataclass(frozen=True)
 class ReplicationSpec:
     """The adaptive replicator's knobs (hybrid+p2p mode only).
 
-    ``churn_aware=True`` hands the scenario's churn process to the
-    replicator so replica targets weight holders by observed session
-    lengths — it therefore requires the scenario to define churn
-    (enforced by :class:`ScenarioSpec`).
+    ``decay`` is the per-cycle exponential decay of demand scores
+    (0 forgets everything each cycle, values near 1 remember demand
+    almost indefinitely); ``hotness`` selects the scope demand is
+    judged at (see :data:`HOTNESS_SCOPES`).  ``churn_aware=True`` hands
+    the scenario's churn process to the replicator so replica targets
+    weight holders by observed session lengths — it therefore requires
+    the scenario to define churn (enforced by :class:`ScenarioSpec`).
     """
 
     interval_s: float = 120.0
     hot_threshold: float = 3.0
     target_replicas: int = 2
+    decay: float = 0.5
+    hotness: str = "global"
     churn_aware: bool = False
 
     def __post_init__(self) -> None:
@@ -319,6 +363,15 @@ class ReplicationSpec:
         if self.target_replicas < 1:
             raise ValueError(
                 f"target_replicas must be >= 1, got {self.target_replicas}"
+            )
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError(
+                f"decay must be in [0, 1), got {self.decay}"
+            )
+        if self.hotness not in HOTNESS_SCOPES:
+            raise ValueError(
+                f"unknown hotness scope {self.hotness!r}; expected one of "
+                f"{HOTNESS_SCOPES}"
             )
 
 
@@ -409,6 +462,18 @@ class ScenarioSpec:
             data[name] = None if section is None else _section_to_dict(section)
         return data
 
+    def cache_key(self) -> str:
+        """A canonical content address of this exact scenario.
+
+        The SHA-256 of the spec's :meth:`to_dict` form (seed included)
+        serialised canonically — key order never matters, so two specs
+        that compare equal hash equal however their dicts were built,
+        and any field change (any section, the mode, or the seed)
+        perturbs the key.  This is the cell identity the sweep runner's
+        on-disk results cache is addressed by.
+        """
+        return canonical_hash(self.to_dict())
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         """Rebuild a spec from :meth:`to_dict` output.
@@ -435,6 +500,23 @@ class ScenarioSpec:
             else:
                 kwargs[name] = _section_from_dict(section_cls, section)
         return cls(**kwargs)
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical serialisation content hashes are computed over.
+
+    Keys are sorted recursively and separators are fixed, so any two
+    structurally equal JSON-safe values — however their mappings were
+    ordered — serialise to the same bytes.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def canonical_hash(data: Any) -> str:
+    """Key-order-insensitive SHA-256 hex digest of a JSON-safe value."""
+    return hashlib.sha256(canonical_json(data).encode("ascii")).hexdigest()
 
 
 def _section_to_dict(section: Any) -> Dict[str, Any]:
@@ -480,6 +562,20 @@ def _parse_override_value(raw: str) -> Any:
         return raw
 
 
+def _all_override_paths() -> List[str]:
+    """Every assignable dotted path (for nearest-match suggestions)."""
+    paths = ["mode", "seed", "churn"]
+    for section, section_cls in _SECTIONS.items():
+        paths.extend(f"{section}.{f.name}" for f in fields(section_cls))
+    return paths
+
+
+def _nearest(path: str, candidates: List[str]) -> str:
+    """`` (did you mean ...?)`` for the closest valid path, or ``""``."""
+    matches = difflib.get_close_matches(path, candidates, n=1, cutoff=0.4)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
 def with_overrides(
     spec: ScenarioSpec, assignments: Mapping[str, Any]
 ) -> ScenarioSpec:
@@ -492,45 +588,61 @@ def with_overrides(
     default :class:`ChurnSpec` first.  The result passes through
     :meth:`ScenarioSpec.from_dict`, so every cross-field rule still
     applies — an override can never smuggle in an invalid combination.
+
+    Bad paths are collected and reported *together* in one
+    :class:`ValueError` — a sweep axis with three typos names all three
+    (each with its nearest valid path) instead of failing one fix at a
+    time.
     """
     data = spec.to_dict()
+    problems: List[str] = []
     for path, raw in assignments.items():
         value = _parse_override_value(raw) if isinstance(raw, str) else raw
         parts = path.split(".")
         if len(parts) == 1:
             key = parts[0]
             if key not in data:
-                raise ValueError(
-                    f"unknown override path {path!r}; top-level keys are "
-                    f"{sorted(data)}"
+                problems.append(
+                    f"unknown override path {path!r}"
+                    f"{_nearest(path, _all_override_paths())}"
                 )
+                continue
             if key in _SECTIONS and value is not None:
-                raise ValueError(
+                problems.append(
                     f"section {key!r} can only be cleared (=none); set its "
                     f"fields via {key}.<field>=<value>"
                 )
+                continue
             data[key] = value
         elif len(parts) == 2:
             section, fname = parts
             if section not in _SECTIONS:
-                raise ValueError(
-                    f"unknown override section {section!r}; expected one of "
-                    f"{sorted(_SECTIONS)}"
+                problems.append(
+                    f"unknown override section {section!r}"
+                    f"{_nearest(path, _all_override_paths())}"
                 )
-            if fname not in {f.name for f in fields(_SECTIONS[section])}:
-                raise ValueError(
-                    f"unknown field {fname!r} of section {section!r}; "
-                    f"expected one of "
-                    f"{sorted(f.name for f in fields(_SECTIONS[section]))}"
+                continue
+            section_fields = [f.name for f in fields(_SECTIONS[section])]
+            if fname not in section_fields:
+                candidates = [f"{section}.{name}" for name in section_fields]
+                problems.append(
+                    f"unknown field {fname!r} of section {section!r}"
+                    f"{_nearest(path, candidates + _all_override_paths())}"
                 )
+                continue
             if data[section] is None:
                 data[section] = {}
             data[section][fname] = value
         else:
-            raise ValueError(
+            problems.append(
                 f"override path {path!r} nests too deep; expected "
                 f"section.field"
             )
+    if problems:
+        noun = "override" if len(problems) == 1 else "overrides"
+        raise ValueError(
+            f"{len(problems)} bad {noun}: " + "; ".join(problems)
+        )
     return ScenarioSpec.from_dict(data)
 
 

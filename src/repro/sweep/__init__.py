@@ -1,0 +1,56 @@
+"""The experiment-matrix runner: declarative grids over scenario specs.
+
+Declare a grid as a :class:`SweepSpec` (base scenario × variants ×
+axes × seeds), execute it with :func:`run_sweep` — parallel across
+worker processes, resumable from a content-addressed on-disk results
+cache — and read tidy rows off the :class:`SweepResult`::
+
+    from repro import sweep
+
+    result = sweep.run_sweep(
+        sweep.get_sweep("gossip-transport"),
+        cache_dir=".sweep-cache", workers=4,
+    )
+    print(result.stats.to_dict())
+    result.to_csv("gossip-transport.csv")
+
+Serial and parallel runs produce byte-identical aggregates
+(``result.aggregate_json()``); re-running a finished sweep executes
+zero cells.  See ``src/repro/scenarios/README.md`` (sweep section) for
+the SweepSpec JSON format, the cache layout, and resume semantics.
+"""
+
+from .presets import (
+    SweepPreset,
+    get_sweep,
+    register_sweep,
+    sweep_entries,
+    sweep_names,
+)
+from .runner import (
+    BENCH_SWEEP_JSON,
+    SweepResult,
+    SweepStats,
+    cell_row,
+    run_sweep,
+    write_bench_record,
+)
+from .spec import SweepCell, SweepSpec, parse_axis_flags, parse_seed_flag
+
+__all__ = [
+    "BENCH_SWEEP_JSON",
+    "SweepCell",
+    "SweepPreset",
+    "SweepResult",
+    "SweepSpec",
+    "SweepStats",
+    "cell_row",
+    "get_sweep",
+    "parse_axis_flags",
+    "parse_seed_flag",
+    "register_sweep",
+    "run_sweep",
+    "sweep_entries",
+    "sweep_names",
+    "write_bench_record",
+]

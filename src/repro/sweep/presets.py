@@ -1,0 +1,130 @@
+"""Named sweeps: the registered experiment matrices.
+
+Mirrors the scenario preset registry one level up — a sweep preset is
+a reproducible grid, ready for ``repro sweep <name>`` or
+:func:`~repro.sweep.runner.run_sweep`.  The two studies the ROADMAP
+deferred to the sweep engine ship here:
+
+``replicator-policy``
+    How the adaptive replicator's *policy* knobs move the
+    origin-traffic / proactive-copy trade-off on the layer-sharing
+    workload: demand-decay (how long demand is remembered) crossed
+    with hotness scope (global: one hot digest tops up every region;
+    per-region: only regions whose own demand cleared the threshold
+    receive copies).
+
+``gossip-transport``
+    How the gossip *transport* moves the discovery realism gap:
+    per-pair metadata latency (exchanged knowledge lands late, views
+    lag a period plus the wire) crossed with the exchange mode
+    (full push-pull payloads vs digest-summary deltas, which converge
+    identically while shipping far fewer records —
+    ``gossip_records_sent`` is the metered wire cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .spec import SweepSpec
+
+SweepFactory = Callable[[], SweepSpec]
+
+
+@dataclass(frozen=True)
+class SweepPreset:
+    """One named, registered experiment matrix."""
+
+    name: str
+    description: str
+    factory: SweepFactory
+
+
+_SWEEPS: Dict[str, SweepPreset] = {}
+
+
+def register_sweep(
+    name: str, factory: SweepFactory, *, description: str = ""
+) -> None:
+    """Add a sweep preset; re-registering a name is a programming error."""
+    if name in _SWEEPS:
+        raise ValueError(f"sweep preset {name!r} already registered")
+    _SWEEPS[name] = SweepPreset(
+        name=name, description=description, factory=factory
+    )
+
+
+def get_sweep(name: str) -> SweepSpec:
+    """A fresh :class:`SweepSpec` for sweep preset ``name``."""
+    if name not in _SWEEPS:
+        raise KeyError(
+            f"unknown sweep preset {name!r}; known sweeps: "
+            f"{', '.join(sweep_names())}"
+        )
+    return _SWEEPS[name].factory()
+
+
+def sweep_names() -> Tuple[str, ...]:
+    """All registered sweep preset names, sorted."""
+    return tuple(sorted(_SWEEPS))
+
+
+def sweep_entries() -> Tuple[SweepPreset, ...]:
+    """All sweep presets, sorted by name."""
+    return tuple(_SWEEPS[name] for name in sweep_names())
+
+
+# ----------------------------------------------------------------------
+# the deferred ROADMAP studies
+# ----------------------------------------------------------------------
+register_sweep(
+    "replicator-policy",
+    lambda: SweepSpec(
+        name="replicator-policy",
+        description=(
+            "adaptive-replicator policy ablation: demand-decay × "
+            "hotness scope (global vs per-region) on the layer-sharing "
+            "workload"
+        ),
+        preset="p2p",
+        # The preset's hot_threshold (3.0) is tuned for swarm-wide
+        # scores; per-region demand on this workload never reaches it,
+        # which would leave half the grid degenerate (zero copies).
+        # One pull per interval (1.0) keeps both scopes live.  The
+        # empty-label variant is the sweep's base bundle: applied to
+        # every cell, absent from the identity columns.
+        variants={"": {"replication.hot_threshold": 1.0}},
+        axes={
+            "replication.decay": (0.0, 0.5, 0.9),
+            "replication.hotness": ("global", "per-region"),
+        },
+        seeds=(20250323, 7),
+    ),
+    description=(
+        "demand-decay × global/per-region hotness: what the replicator "
+        "policy costs and saves"
+    ),
+)
+
+register_sweep(
+    "gossip-transport",
+    lambda: SweepSpec(
+        name="gossip-transport",
+        description=(
+            "gossip-transport ablation: per-pair metadata latency × "
+            "exchange mode (full push-pull vs digest-summary deltas) "
+            "under moderate churn"
+        ),
+        preset="p2p-gossip",
+        axes={
+            "discovery.gossip_latency_s": (0.0, 30.0, 120.0),
+            "discovery.gossip_exchange": ("push-pull", "digest-summary"),
+        },
+        seeds=(20250323, 7),
+    ),
+    description=(
+        "metadata latency × push-pull/digest-summary exchange: what the "
+        "gossip wire model costs"
+    ),
+)

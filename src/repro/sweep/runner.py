@@ -1,0 +1,291 @@
+"""Parallel, resumable, content-addressed sweep execution.
+
+:func:`run_sweep` turns a :class:`~repro.sweep.spec.SweepSpec` into an
+aggregate:
+
+* cells whose content hash already has a JSON document in the results
+  cache are **cache hits** — loaded, never re-run; everything else is
+  executed, across a ``multiprocessing`` pool when ``workers > 1``
+  (one fresh :class:`~repro.scenarios.SimulationSession` per cell
+  inside a worker process, chunked dispatch to amortise fork cost);
+* every completed cell is persisted immediately (atomic
+  write-then-rename), so a killed sweep resumes with only the missing
+  cells re-executed, and editing one grid axis re-runs only the new
+  cells;
+* the aggregate is built in **cell order**, not completion order —
+  serial and parallel runs of the same sweep produce byte-identical
+  aggregates (cells are independent seeded simulations; asserted in
+  tests and the bench smoke).
+
+Rows are tidy and flat: the cell's identity columns (variant, one
+column per axis path, seed, key) followed by the flattened
+:meth:`~repro.scenarios.ModeOutcome.to_dict` counters.  ``to_csv``
+writes the same rows as CSV; :func:`write_bench_record` appends a
+machine-readable perf record (cells/sec, worker count, cache hits) to
+``BENCH_sweep.json`` so the perf trajectory is comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..scenarios import ScenarioSpec, SimulationSession, canonical_json
+from .spec import SweepCell, SweepSpec
+
+#: Filename of the cross-PR perf trajectory record.
+BENCH_SWEEP_JSON = "BENCH_sweep.json"
+
+
+def _flatten(prefix: str, value: Any, row: Dict[str, Any]) -> None:
+    """Tidy a nested outcome value into dotted flat columns."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}", value[key], row)
+    else:
+        row[prefix] = value
+
+
+def cell_row(cell: SweepCell, outcome: Dict[str, Any]) -> Dict[str, Any]:
+    """One tidy aggregate row: identity columns + flat outcome."""
+    row = cell.row_id()
+    for key, value in outcome.items():
+        _flatten(key, value, row)
+    return row
+
+
+def _execute_cell(
+    payload: Tuple[str, Dict[str, Any], Optional[str]],
+) -> Tuple[str, Dict[str, Any]]:
+    """Worker body: one cell, one fresh session, one outcome dict.
+
+    Runs inside a pool process (or inline when ``workers == 1``).  The
+    optional marker directory receives an (empty) file per *executed*
+    cell — the observable tests and CI use to prove that resumed
+    sweeps only run what the cache is missing.
+    """
+    key, spec_dict, marker_dir = payload
+    if marker_dir is not None:
+        (Path(marker_dir) / key).touch()
+    spec = ScenarioSpec.from_dict(spec_dict)
+    outcome = SimulationSession(spec).run()
+    return key, outcome.to_dict()
+
+
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def _load_cached(cache_dir: Path, key: str) -> Optional[Dict[str, Any]]:
+    path = _cache_path(cache_dir, key)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError) as error:
+        raise ValueError(
+            f"corrupt sweep cache entry {path} ({error}); delete it to "
+            f"re-run the cell"
+        ) from error
+    if document.get("key") != key:
+        raise ValueError(
+            f"sweep cache entry {path} holds key {document.get('key')!r}; "
+            f"delete it to re-run the cell"
+        )
+    return document["outcome"]
+
+def _store_cached(
+    cache_dir: Path, key: str, spec_dict: Dict[str, Any],
+    outcome: Dict[str, Any],
+) -> None:
+    """Persist one completed cell atomically (write, then rename).
+
+    A sweep killed mid-write can never leave a truncated cell behind:
+    the rename is atomic, so the cache only ever holds complete
+    documents.
+    """
+    path = _cache_path(cache_dir, key)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    document = {"key": key, "spec": spec_dict, "outcome": outcome}
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=1)
+    os.replace(tmp, path)
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting of one :func:`run_sweep` call."""
+
+    cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def cells_per_s(self) -> float:
+        return self.executed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cells": self.cells,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "cells_per_s": self.cells_per_s,
+        }
+
+
+@dataclass
+class SweepResult:
+    """The aggregate of one sweep run: tidy rows plus run accounting."""
+
+    sweep: SweepSpec
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def aggregate_json(self) -> str:
+        """Canonical JSON of the rows alone.
+
+        This is the determinism surface: serial and parallel runs —
+        and cached re-runs — of the same sweep must produce the same
+        bytes here.  Stats (wall time, worker count) live outside it.
+        """
+        return canonical_json(self.rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep.to_dict(),
+            "stats": self.stats.to_dict(),
+            "rows": self.rows,
+        }
+
+    def to_csv(self, path: os.PathLike) -> None:
+        """The rows as CSV (column order: first appearance)."""
+        columns: List[str] = []
+        for row in self.rows:
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """One column across all rows (missing values become None)."""
+        return [row.get(name) for row in self.rows]
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    cache_dir: Optional[os.PathLike] = None,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    marker_dir: Optional[os.PathLike] = None,
+) -> SweepResult:
+    """Execute (or resume) a sweep; see the module docstring.
+
+    ``cache_dir=None`` runs everything in memory (no resume).
+    ``workers`` caps the pool size; 1 executes inline in this process
+    — bit-identically, which is asserted by the determinism tests.
+    ``chunksize`` tunes pool dispatch (default: enough to hand every
+    worker ~4 chunks, amortising fork/IPC cost over short cells).
+    ``marker_dir`` makes execution observable (one file per executed
+    cell).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    started = time.perf_counter()
+    cells = sweep.cells()
+    cache: Optional[Path] = None
+    if cache_dir is not None:
+        cache = Path(cache_dir)
+        cache.mkdir(parents=True, exist_ok=True)
+    if marker_dir is not None:
+        Path(marker_dir).mkdir(parents=True, exist_ok=True)
+        marker_dir = str(marker_dir)
+
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    pending: List[SweepCell] = []
+    claimed: set = set()
+    for cell in cells:
+        if cell.key in claimed:
+            continue  # an identical cell already accounted for
+        claimed.add(cell.key)
+        cached = _load_cached(cache, cell.key) if cache is not None else None
+        if cached is not None:
+            outcomes[cell.key] = cached
+        else:
+            pending.append(cell)
+
+    payloads = [
+        (cell.key, cell.spec.to_dict(), marker_dir) for cell in pending
+    ]
+    spec_dicts = {key: spec_dict for key, spec_dict, _marker in payloads}
+    n_workers = min(workers, len(payloads))
+    if n_workers > 1:
+        if chunksize is None:
+            chunksize = max(1, len(payloads) // (n_workers * 4))
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            # Unordered: each cell is cached the moment it completes,
+            # so a kill at any point loses at most the in-flight cells.
+            for key, outcome in pool.imap_unordered(
+                _execute_cell, payloads, chunksize=chunksize
+            ):
+                outcomes[key] = outcome
+                if cache is not None:
+                    _store_cached(cache, key, spec_dicts[key], outcome)
+    else:
+        for payload in payloads:
+            key, outcome = _execute_cell(payload)
+            outcomes[key] = outcome
+            if cache is not None:
+                _store_cached(cache, key, payload[1], outcome)
+
+    result = SweepResult(sweep=sweep)
+    result.rows = [cell_row(cell, outcomes[cell.key]) for cell in cells]
+    result.stats = SweepStats(
+        cells=len(cells),
+        executed=len(payloads),
+        cache_hits=len(cells) - len(payloads),
+        workers=workers,
+        wall_s=time.perf_counter() - started,
+    )
+    return result
+
+
+def write_bench_record(
+    name: str, stats: SweepStats, path: os.PathLike = BENCH_SWEEP_JSON,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Merge one benchmark's sweep perf record into ``BENCH_sweep.json``.
+
+    The file maps benchmark name → its latest record; existing entries
+    for other benchmarks survive, so one file carries the whole perf
+    trajectory across PRs.
+    """
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict):
+            document = {}
+    except (FileNotFoundError, ValueError):
+        document = {}
+    record = dict(stats.to_dict(), **extra)
+    document[name] = record
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return record

@@ -201,6 +201,83 @@ class TestGossipStaleness:
 
 
 # ----------------------------------------------------------------------
+# gossip backend: transport knobs (latency, exchange mode)
+# ----------------------------------------------------------------------
+class TestGossipTransport:
+    def test_latency_defers_payload_delivery(self):
+        sim = Simulator()
+        disc = GossipDiscovery(
+            sim=sim, fanout=1, period_s=10.0, latency_s=4.0, seed=2
+        )
+        _swarm, caches = mesh_swarm(n=3, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        sim.run(until=12.0)
+        # The round fired at t=10, but its payloads are on the wire
+        # until t=14: nobody has learned of d0's copy yet.
+        assert disc.rounds == 1
+        assert disc.view("d1", D[0]) == frozenset()
+        assert disc.view("d2", D[0]) == frozenset()
+        sim.run(until=15.0)
+        # d0 initiated one exchange, so at least one peer now knows.
+        assert disc.view("d1", D[0]) | disc.view("d2", D[0]) == {"d0"}
+
+    def test_latency_only_delays_convergence(self):
+        sim = Simulator()
+        disc = GossipDiscovery(
+            sim=sim, fanout=2, period_s=10.0, latency_s=5.0, seed=3
+        )
+        swarm, caches = mesh_swarm(n=5, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        sim.run(until=200.0)
+        for viewer in swarm.devices():
+            expected = {"d0"} - {viewer}
+            assert disc.view(viewer, D[0]) == expected
+
+    def run_transport(self, exchange, rounds=15, n=5):
+        disc = GossipDiscovery(
+            fanout=2, period_s=30.0, seed=11, exchange=exchange
+        )
+        swarm, caches = mesh_swarm(n=n, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        caches["d3"].add(D[1], 20)
+        for _ in range(rounds):
+            disc.run_round()
+        views = {
+            (viewer, digest): disc.view(viewer, digest)
+            for viewer in swarm.devices()
+            for digest in (D[0], D[1])
+        }
+        return views, disc.records_sent
+
+    def test_digest_summary_converges_identically_with_fewer_records(self):
+        # Same seed, same partner schedule: the delta encoding must
+        # land every view push-pull lands while metering strictly
+        # fewer records over the wire.
+        full_views, full_records = self.run_transport("push-pull")
+        summary_views, summary_records = self.run_transport(
+            "digest-summary"
+        )
+        assert summary_views == full_views
+        assert 0 < summary_records < full_records
+
+    def test_digest_summary_repeat_exchange_ships_nothing(self):
+        disc = GossipDiscovery(seed=1, exchange="digest-summary")
+        _swarm, caches = mesh_swarm(n=2, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        disc._exchange("d0", "d1")
+        sent = disc.records_sent
+        assert sent > 0
+        disc._exchange("d0", "d1")  # both sides already know everything
+        assert disc.records_sent == sent
+
+    def test_bad_transport_knobs_rejected(self):
+        with pytest.raises(ValueError, match="latency_s"):
+            GossipDiscovery(latency_s=-1.0)
+        with pytest.raises(ValueError, match="exchange"):
+            GossipDiscovery(exchange="telepathy")
+
+
+# ----------------------------------------------------------------------
 # merge rule
 # ----------------------------------------------------------------------
 class TestMergeRule:

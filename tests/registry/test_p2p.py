@@ -350,7 +350,7 @@ class TestP2PRegistry:
 # AdaptiveReplicator
 # ----------------------------------------------------------------------
 class TestAdaptiveReplicator:
-    def build(self, regions=("r0", "r1"), per_region=2):
+    def build(self, regions=("r0", "r1"), per_region=2, **kwargs):
         network = NetworkModel()
         names = []
         for r, region in enumerate(regions):
@@ -369,7 +369,8 @@ class TestAdaptiveReplicator:
             swarm.add_device(name, small_cache(1000, name), region=region)
         sim = Simulator()
         replicator = AdaptiveReplicator(
-            sim, swarm, interval_s=10.0, hot_threshold=3.0, target_replicas=1
+            sim, swarm, interval_s=10.0, hot_threshold=3.0,
+            target_replicas=1, **kwargs,
         )
         return sim, swarm, replicator
 
@@ -425,6 +426,48 @@ class TestAdaptiveReplicator:
         cycle = replicator.run_cycle()
         assert all(action.region != "r1" for action in cycle.actions)
         assert not (swarm.index.holders(D[0]) & swarm.members("r1"))
+
+    def test_per_region_hotness_skips_cold_regions(self):
+        # Same demand as test_hot_layer_replicated_to_empty_region,
+        # but the per-region scope must NOT top up r1: nobody there
+        # ever asked for the layer.
+        _sim, swarm, replicator = self.build(hotness="per-region")
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(3):
+            swarm.record_demand(D[0], "r0-d1")
+        cycle = replicator.run_cycle()
+        assert D[0] in cycle.hot_digests
+        assert all(action.region == "r0" for action in cycle.actions)
+        assert not (swarm.index.holders(D[0]) & swarm.members("r1"))
+        assert replicator.bytes_replicated == 0  # r0 already holds it
+
+    def test_per_region_hotness_serves_the_region_that_asked(self):
+        _sim, swarm, replicator = self.build(hotness="per-region")
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(3):
+            swarm.record_demand(D[0], "r1-d0")  # demand lives in r1
+        replicator.run_cycle()
+        r1_holders = swarm.index.holders(D[0]) & swarm.members("r1")
+        assert len(r1_holders) == 1
+        assert replicator.bytes_replicated == 50
+
+    def test_per_region_demand_below_threshold_stays_cold(self):
+        # Swarm-wide demand clears the threshold, but it is spread so
+        # thin that no single region does: global replicates, the
+        # per-region scope waits.
+        _sim, swarm, replicator = self.build(
+            regions=("r0", "r1", "r2"), hotness="per-region"
+        )
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for device in ("r0-d1", "r1-d0", "r2-d0"):
+            swarm.record_demand(D[0], device)
+        cycle = replicator.run_cycle()
+        assert cycle.actions == ()
+        assert cycle.hot_digests == ()
+
+    def test_unknown_hotness_scope_rejected(self):
+        with pytest.raises(ValueError, match="hotness"):
+            self.build(hotness="everywhere")
 
     def test_actions_carry_transfer_seconds(self):
         _sim, swarm, replicator = self.build()

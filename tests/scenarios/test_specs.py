@@ -26,6 +26,7 @@ from repro.scenarios import (
     WorkloadSpec,
     with_overrides,
 )
+from repro.scenarios import canonical_hash, canonical_json
 from repro.scenarios.spec import parse_set_flags
 from repro.sim.churn import ChurnConfig
 from repro.sim.transfers import TransferModel
@@ -348,6 +349,88 @@ class TestOverrides:
         }
         with pytest.raises(ValueError, match="bad --set"):
             parse_set_flags(("no-equals-sign",))
+
+    def test_all_problems_reported_in_one_error(self):
+        # Three distinct mistakes -> one exception naming all three,
+        # not a fix-rerun-fix loop surfacing them one at a time.
+        with pytest.raises(ValueError) as excinfo:
+            with_overrides(ScenarioSpec(), {
+                "nonsense.field": "1",
+                "topology.devices": "4",
+                "a.b.c": "1",
+            })
+        message = str(excinfo.value)
+        assert message.startswith("3 bad overrides:")
+        assert "unknown override section" in message
+        assert "unknown field" in message
+        assert "too deep" in message
+
+    def test_unknown_paths_suggest_the_nearest_field(self):
+        with pytest.raises(ValueError, match="did you mean") as excinfo:
+            with_overrides(ScenarioSpec(), {"topology.devices": "4"})
+        assert "topology.n_devices" in str(excinfo.value)
+        with pytest.raises(ValueError) as excinfo:
+            with_overrides(ScenarioSpec(), {"discovery.gossip_fanuot": "2"})
+        assert "discovery.gossip_fanout" in str(excinfo.value)
+        with pytest.raises(ValueError) as excinfo:
+            with_overrides(ScenarioSpec(), {"mod": "hybrid"})
+        assert "did you mean 'mode'" in str(excinfo.value)
+
+
+class TestCacheKey:
+    def test_key_order_never_matters(self):
+        spec = ScenarioSpec(mode="hybrid+p2p", seed=42)
+        data = spec.to_dict()
+        reordered = {
+            key: (
+                dict(reversed(list(value.items())))
+                if isinstance(value, dict) else value
+            )
+            for key in reversed(list(data))
+            for value in [data[key]]
+        }
+        assert list(reordered) != list(data)
+        assert canonical_json(reordered) == canonical_json(data)
+        assert canonical_hash(reordered) == canonical_hash(data)
+        assert canonical_hash(reordered) == spec.cache_key()
+
+    @given(spec=scenario_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_the_key(self, spec):
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_any_field_change_perturbs_the_key(self):
+        base = ScenarioSpec(churn=ChurnSpec())
+        perturbations = {
+            "mode": "hybrid",
+            "seed": 99,
+            "topology.n_devices": 33,
+            "topology.cache_gb": 7.5,
+            "workload.n_images": 11,
+            "workload.pulls_per_device": 9,
+            "transfer.model": "time-resolved",
+            "discovery.backend": "gossip",
+            "churn.mean_uptime_s": 123.0,
+            "replication.decay": 0.25,
+            "replication.hotness": "per-region",
+            "chunks.size_bytes": 1_000_000,
+        }
+        keys = {base.cache_key()}
+        for path, value in perturbations.items():
+            key = with_overrides(base, {path: value}).cache_key()
+            assert key not in keys, f"{path} did not perturb the key"
+            keys.add(key)
+
+    def test_key_is_hex_sha256(self):
+        key = ScenarioSpec().cache_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_specs_hash_equal(self):
+        assert ScenarioSpec(seed=7).cache_key() == replace(
+            ScenarioSpec(), seed=7
+        ).cache_key()
 
 
 class TestPresets:

@@ -355,7 +355,12 @@ def test_preset_outcomes_match_full_engine(preset):
     assert set(reference) == set(candidate)
     for key, expected in reference.items():
         actual = candidate[key]
-        if isinstance(expected, float):
+        if key == "engine_transfers_visited":
+            # The recompute work counter is the one field the two
+            # modes *must* disagree on: visiting fewer transfers per
+            # event is the incremental engine's reason to exist.
+            assert 0 < actual <= expected, key
+        elif isinstance(expected, float):
             assert actual == pytest.approx(expected, rel=1e-9, abs=1e-9), key
         else:
             assert actual == expected, key

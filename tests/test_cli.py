@@ -81,7 +81,7 @@ class TestCli:
 
     def test_preset_argument_rejected_outside_scenario(self, capsys):
         assert main(["table3", "p2p"]) == 2
-        assert "scenario subcommand" in capsys.readouterr().err
+        assert "scenario/sweep subcommands" in capsys.readouterr().err
 
     def test_set_rejected_outside_scenario(self, capsys):
         assert main(["table3", "--set", "mode=hybrid"]) == 2
