@@ -7,14 +7,16 @@ Run directly for the studies (``--quick`` shrinks each grid to a
 
     PYTHONPATH=src python benchmarks/bench_ablations.py [--quick]
 
-* **replicator-policy** — demand-decay × hotness scope on the
-  layer-sharing workload; per-region hotness must never replicate
-  *more* bytes than global hotness on the same cell (it only narrows
-  where copies go).
-* **gossip-transport** — per-pair metadata latency × exchange mode;
-  the digest-summary exchange must reproduce the push-pull outcome
-  *exactly* (it is a semantics-preserving delta encoding) while
-  shipping strictly fewer view records over the wire.
+* **replicator-policy** — demand-decay swept across two hotness-scope
+  arms (global absolute threshold vs per-region auto-scaled
+  ``hot_fraction``); the per-region arm must never replicate *more*
+  bytes than global on the same cell (it only narrows where copies
+  go).
+* **gossip-transport** — per-pair metadata latency × exchange mode ×
+  payload loss; the digest-summary exchange must reproduce the
+  push-pull outcome *exactly* (it is a semantics-preserving delta
+  encoding) while shipping strictly fewer view records over the wire,
+  at every loss rate.
 
 Both run through :func:`repro.sweep.run_sweep` (worker pool, fresh
 content-addressed cache) and land their throughput in
@@ -84,9 +86,12 @@ def check_replicator_policy(rows) -> None:
     """Per-region hotness only narrows *where* copies go, so on every
     (decay, seed) cell it must not replicate more bytes than global
     hotness — and somewhere on the grid it must replicate strictly
-    fewer (otherwise the scope knob is dead)."""
+    fewer (otherwise the scope knob is dead).  The scopes ride the
+    sweep's *variants* (each arm carries its own threshold knob:
+    ``hot_threshold`` for global, auto-scaled ``hot_fraction`` for
+    per-region), so rows are grouped by the ``variant`` column."""
     groups = _cell_groups(
-        rows, ("replication.decay", "seed"), "replication.hotness"
+        rows, ("replication.decay", "seed"), "variant"
     )
     strictly_fewer = 0
     for key, pair in groups.items():
@@ -105,10 +110,14 @@ def check_replicator_policy(rows) -> None:
 
 def check_gossip_transport(rows) -> None:
     """Digest-summary is a delta encoding of the same anti-entropy
-    exchange: on every (latency, seed) cell its traffic outcome must
-    match push-pull exactly while shipping strictly fewer records."""
+    exchange: on every (latency, loss, seed) cell its traffic outcome
+    must match push-pull exactly while shipping strictly fewer
+    records — payload loss drops the same seeded (receiver, sender)
+    pairs in both modes, so it cannot perturb the equivalence."""
     groups = _cell_groups(
-        rows, ("discovery.gossip_latency_s", "seed"),
+        rows,
+        ("discovery.gossip_latency_s", "discovery.gossip_loss_rate",
+         "seed"),
         "discovery.gossip_exchange",
     )
     for key, pair in groups.items():
@@ -168,7 +177,7 @@ def main(argv=None) -> int:
     print("== replicator-policy study (demand-decay × hotness scope) ==")
     policy = run_study("replicator-policy", quick, workers)
     _print_rows(policy.rows, [
-        "replication.decay", "replication.hotness", "seed",
+        "variant", "replication.decay", "seed",
         "origin_bytes", "bytes_replicated", "stale_peer_misses",
     ])
     check_replicator_policy(policy.rows)
@@ -178,8 +187,9 @@ def main(argv=None) -> int:
     print("== gossip-transport study (metadata latency × exchange) ==")
     transport = run_study("gossip-transport", quick, workers)
     _print_rows(transport.rows, [
-        "discovery.gossip_latency_s", "discovery.gossip_exchange", "seed",
-        "origin_bytes", "stale_peer_misses", "gossip_records_sent",
+        "discovery.gossip_latency_s", "discovery.gossip_exchange",
+        "discovery.gossip_loss_rate", "seed", "origin_bytes",
+        "gossip_payloads_lost", "gossip_records_sent",
     ])
     check_gossip_transport(transport.rows)
     print("gossip-transport OK: digest-summary converges identically "

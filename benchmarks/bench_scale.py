@@ -19,7 +19,15 @@ Two sweeps run:
   modes at 1000 devices (same makespan, ≥10× fewer recompute-visited
   transfers) and sustaining a **10k-device** swarm interactively under
   a wall-time guard — the guard is what keeps the incremental-mode
-  scaling win from silently regressing in CI.
+  scaling win from silently regressing in CI, and
+* the ``p2p-swarm-100k`` preset's trunk-sliced cold waves through the
+  region-sharded engine: at 10k devices the trunk-sliced sharded
+  topology is compared against the same total registry egress served
+  as one monolithic uplink (≥5× fewer recompute-visited transfers —
+  the co-design win: slicing keeps every registry closure regional),
+  and the full **100k-device** swarm runs interactively under its own
+  wall guard.  ``--quick`` runs a 25k-device sharded canary instead
+  (the 100k build alone costs ~13 s; the wave ~190 s).
 """
 
 import dataclasses
@@ -248,6 +256,163 @@ def check_swarm_sweep(rows) -> None:
         )
 
 
+# ----------------------------------------------------------------------
+# region-sharded engine on the trunk-sliced 100k preset
+# ----------------------------------------------------------------------
+#: Wall guard per wave for the --quick 25k-device sharded canary
+#: (measured ~22 s/wave; headroom for slower CI machines).
+_SHARD_QUICK_GUARD_WAVE_S = 120.0
+
+#: Wall guard per wave for the full 100k-device run (measured
+#: ~190 s/wave on a workstation).
+_SHARD_100K_GUARD_WAVE_S = 600.0
+
+#: Minimum monolithic/trunk-sliced ratio of recompute-visited
+#: transfers at 10k devices.  Sharded vs incremental on the *same*
+#: topology is bit-identical (equal visited, asserted in the tier-1
+#: differential tests); the benchmark win is topology+engine
+#: co-design — per-region trunk slices keep each registry closure
+#: regional, where a monolithic uplink couples every in-flight
+#: registry pull on the planet into one component.
+_SHARD_VISITED_RATIO_MIN = 5.0
+
+
+def _swarm100k_run(
+    n_devices: int,
+    n_regions: int,
+    stagger_s: float,
+    recompute: str,
+    trunked: bool = True,
+) -> dict:
+    """The ``p2p-swarm-100k`` preset resized; returns timings.
+
+    ``trunked=False`` replaces the per-region trunk slices with one
+    monolithic egress link of the *same total capacity* per registry —
+    the coupling baseline the sharded topology exists to avoid.
+    """
+    spec = scenarios.get("p2p-swarm-100k")
+    topology = dataclasses.replace(
+        spec.topology, n_devices=n_devices, n_regions=n_regions
+    )
+    if not trunked:
+        topology = dataclasses.replace(
+            topology,
+            hub_trunk_mbps=None,
+            regional_trunk_mbps=None,
+            hub_egress_mbps=spec.topology.hub_trunk_mbps * n_regions,
+            regional_egress_mbps=(
+                spec.topology.regional_trunk_mbps * n_regions
+            ),
+        )
+    spec = dataclasses.replace(
+        spec,
+        topology=topology,
+        workload=dataclasses.replace(spec.workload, stagger_s=stagger_s),
+        transfer=dataclasses.replace(spec.transfer, recompute=recompute),
+    )
+    build_start = time.perf_counter()
+    session = SimulationSession(spec)
+    build_s = time.perf_counter() - build_start
+    engine = session.engine
+    wall_start = time.perf_counter()
+    outcome = session.run()
+    wall_s = time.perf_counter() - wall_start
+    assert outcome.unfinished_pulls == 0
+    assert engine.peak_oversubscription() <= 1.0 + 1e-9
+    return dict(
+        devices=n_devices,
+        recompute=recompute,
+        trunked=trunked,
+        build_s=build_s,
+        wall_s=wall_s,
+        wave_s=wall_s / _SWARM_WAVES,
+        recomputes=engine.recomputes,
+        visited=engine.transfers_visited,
+        makespan_s=outcome.makespan_s,
+        shards=len(engine._shards) if engine.sharded else 0,
+    )
+
+
+def run_sharded_sweep(quick: bool) -> list:
+    """Trunk-sliced sharded cold waves; see the module docstring.
+
+    ``--quick`` runs only the 25k-device sharded canary.  The full run
+    adds the 10k trunked-vs-monolithic comparison (the monolithic cell
+    alone costs ~3.5 min wall: that is the point) and the 100k swarm.
+    """
+    if quick:
+        cells = [(25_000, 1250, 0.02, "sharded", True)]
+    else:
+        cells = [
+            (10_000, 500, 0.05, "sharded", True),
+            (10_000, 500, 0.05, "incremental", False),
+            (100_000, 5000, 0.01, "sharded", True),
+        ]
+    return [_swarm100k_run(*cell) for cell in cells]
+
+
+def check_sharded_sweep(rows) -> None:
+    """Wall guards plus the trunk-sliced-vs-monolithic work ratio."""
+    for row in rows:
+        if row["recompute"] != "sharded":
+            continue
+        guard = (
+            _SHARD_100K_GUARD_WAVE_S
+            if row["devices"] >= 100_000
+            else _SHARD_QUICK_GUARD_WAVE_S
+        )
+        assert row["wave_s"] < guard, (
+            f"{row['devices']}-device sharded cold wave took "
+            f"{row['wave_s']:.1f} s wall (guard: {guard:.0f} s) — "
+            f"per-shard recompute scaling has regressed"
+        )
+        assert row["shards"] > 0
+    by_trunking = {
+        row["trunked"]: row for row in rows if row["devices"] == 10_000
+    }
+    if len(by_trunking) == 2:
+        trunked, mono = by_trunking[True], by_trunking[False]
+        ratio = mono["visited"] / max(trunked["visited"], 1)
+        assert ratio >= _SHARD_VISITED_RATIO_MIN, (
+            f"trunk-sliced sharding visited only {ratio:.1f}x fewer "
+            f"transfers than the monolithic-egress baseline at 10k "
+            f"devices (required: {_SHARD_VISITED_RATIO_MIN:.0f}x)"
+        )
+
+
+def _write_sharded_record(rows) -> None:
+    """Land the sharded-swarm throughput in ``BENCH_sweep.json``."""
+    from repro.sweep import SweepStats, write_bench_record
+
+    stats = SweepStats(
+        cells=len(rows),
+        executed=len(rows),
+        wall_s=sum(row["wall_s"] for row in rows),
+    )
+    by_trunking = {
+        row["trunked"]: row for row in rows if row["devices"] == 10_000
+    }
+    extra = {
+        "rows": [
+            {
+                key: row[key]
+                for key in ("devices", "recompute", "trunked", "build_s",
+                            "wall_s", "wave_s", "visited", "makespan_s",
+                            "shards")
+            }
+            for row in rows
+        ],
+    }
+    if len(by_trunking) == 2:
+        extra["visited_ratio_10k"] = (
+            by_trunking[False]["visited"] / by_trunking[True]["visited"]
+        )
+    record = write_bench_record(
+        "bench_scale[swarm-sharded]", stats, **extra
+    )
+    print(f"sharded swarm record: {record}")
+
+
 def main(argv=None) -> int:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     from _smoke import parse_quick
@@ -295,6 +460,36 @@ def main(argv=None) -> int:
             )
         )
     )
+    print()
+    print("== region-sharded cold waves (p2p-swarm-100k preset) ==")
+    sharded_rows = run_sharded_sweep(quick)
+    print(
+        f"{'devices':>8} {'mode':>12} {'trunked':>8} {'build s':>8} "
+        f"{'wall s':>8} {'s/wave':>7} {'visited':>9} {'shards':>7} "
+        f"{'makespan':>9}"
+    )
+    for row in sharded_rows:
+        print(
+            f"{row['devices']:>8} {row['recompute']:>12} "
+            f"{str(row['trunked']):>8} {row['build_s']:>8.1f} "
+            f"{row['wall_s']:>8.1f} {row['wave_s']:>7.1f} "
+            f"{row['visited']:>9} {row['shards']:>7} "
+            f"{row['makespan_s']:>9.1f}"
+        )
+    check_sharded_sweep(sharded_rows)
+    if quick:
+        print(
+            f"sharded sweep OK: 25k-device waves under "
+            f"{_SHARD_QUICK_GUARD_WAVE_S:.0f} s"
+        )
+    else:
+        _write_sharded_record(sharded_rows)
+        print(
+            f"sharded sweep OK: 100k-device waves under "
+            f"{_SHARD_100K_GUARD_WAVE_S:.0f} s, trunk slicing visits "
+            f">={_SHARD_VISITED_RATIO_MIN:.0f}x fewer transfers than "
+            f"monolithic egress at 10k devices"
+        )
     if quick:
         from _smoke import smoke_main
 

@@ -251,7 +251,8 @@ def _sweep_text(result) -> str:
     stats = result.stats
     lines = [
         f"== Sweep {result.sweep.name}: {stats.cells} cells "
-        f"(executed {stats.executed}, cache hits {stats.cache_hits}) "
+        f"(executed {stats.executed}, cache hits {stats.cache_hits}, "
+        f"deduped {stats.deduped}) "
         f"workers={stats.workers} wall={stats.wall_s:.1f}s "
         f"({stats.cells_per_s:.2f} cells/s) =="
     ]
@@ -264,6 +265,7 @@ def _sweep_text(result) -> str:
     headline = [
         "pulls", "hit_ratio", "origin_bytes", "bytes_from_peers",
         "makespan_s", "stale_peer_misses", "gossip_records_sent",
+        "gossip_payloads_lost",
     ]
     columns = id_columns + [
         name for name in headline if any(name in row for row in result.rows)

@@ -57,18 +57,27 @@ _NO_NEIGHBOURS: frozenset = frozenset()
 #: Shared empty channel row for devices nothing connects to.
 _NO_CHANNELS: Dict[str, "Channel"] = {}
 
+#: Shard label for links not owned by any single region: inter-region
+#: channels, monolithic registry egress, and links between endpoints
+#: whose region was never declared.  The sharded transfer engine keeps
+#: one catch-all shard under this name.
+TRUNK = "@trunk"
+
 
 @dataclass(frozen=True)
 class LinkSpec:
-    """One shared link of a transfer path (name + capacity).
+    """One shared link of a transfer path (name + capacity + shard).
 
     The time-resolved :class:`~repro.sim.transfers.TransferEngine`
     materialises these into live :class:`~repro.sim.transfers.Link`
-    objects; the analytic path never looks at them.
+    objects; the analytic path never looks at them.  ``shard`` names
+    the region that owns the link for per-shard recompute scheduling
+    (:data:`TRUNK` when no single region does).
     """
 
     name: str
     capacity_mbps: float
+    shard: str = TRUNK
 
 
 class NetworkModel:
@@ -104,6 +113,14 @@ class NetworkModel:
         # In-neighbors of each device in best-first order (bandwidth
         # descending, then name) — built lazily, dropped on mutation.
         self._pref_cache: Dict[str, Tuple[str, ...]] = {}
+        # Region each endpoint belongs to, for link→shard
+        # classification.  Unset endpoints classify onto the trunk.
+        self._regions: Dict[str, str] = {}
+        # Per-region egress slices of a registry uplink: endpoint →
+        # region → capacity.  When present for the destination's
+        # region, the slice replaces the monolithic uplink for that
+        # path, so pulls from different regions never share a link.
+        self._regional_uplinks: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # topology construction
@@ -284,6 +301,69 @@ class NetworkModel:
     def downlink_mbps(self, endpoint: str) -> Optional[float]:
         return self._downlinks.get(endpoint)
 
+    def set_region(self, endpoint: str, region: str) -> None:
+        """Declare which region owns ``endpoint`` for shard labelling.
+
+        Regions drive the ``shard`` field of the :class:`LinkSpec`\\ s
+        :meth:`transfer_path` emits: an endpoint's up/down links belong
+        to its region, an intra-region channel to the shared region,
+        and everything else to :data:`TRUNK`.  Purely a scheduling
+        label — capacities and path shapes are unaffected.
+        """
+        if not region:
+            raise ValueError(f"empty region for endpoint {endpoint!r}")
+        self._path_cache.clear()
+        self._regions[endpoint] = region
+
+    def region_of(self, endpoint: str) -> Optional[str]:
+        """The declared region of ``endpoint``, or ``None``."""
+        return self._regions.get(endpoint)
+
+    def set_regional_uplink(
+        self, endpoint: str, region: str, capacity_mbps: float
+    ) -> None:
+        """Give ``endpoint`` a per-region egress slice toward ``region``.
+
+        Transfers sourced at the endpoint toward a destination in
+        ``region`` cross ``up:{endpoint}@{region}`` (owned by that
+        region's shard) instead of the monolithic ``up:{endpoint}``
+        link.  This is the explicit trunk-slicing DEEP's regional
+        registries imply: egress toward different regions no longer
+        couples into one shared component.
+        """
+        require_positive(capacity_mbps, "capacity_mbps")
+        if not region:
+            raise ValueError(f"empty region for endpoint {endpoint!r}")
+        self._path_cache.clear()
+        self._regional_uplinks.setdefault(endpoint, {})[region] = capacity_mbps
+
+    def regional_uplink_mbps(
+        self, endpoint: str, region: Optional[str]
+    ) -> Optional[float]:
+        slices = self._regional_uplinks.get(endpoint)
+        if slices is None or region is None:
+            return None
+        return slices.get(region)
+
+    def _endpoint_shard(self, endpoint: str) -> str:
+        """Shard owning ``endpoint``'s private links (trunk if unset)."""
+        return self._regions.get(endpoint, TRUNK)
+
+    def _channel_shard(self, src: str, dst: str, src_is_registry: bool) -> str:
+        """Shard owning the ``src → dst`` point-to-point channel.
+
+        Registry→device channels are private to the destination, so
+        they belong to the destination's region.  Device channels
+        belong to the common region when both ends share one, else to
+        the trunk (cross-region peer traffic).
+        """
+        if src_is_registry:
+            return self._regions.get(dst, TRUNK)
+        src_region = self._regions.get(src)
+        if src_region is not None and src_region == self._regions.get(dst):
+            return src_region
+        return TRUNK
+
     def transfer_path(
         self, src: str, dst: str, src_is_registry: bool = False
     ) -> Tuple[List[LinkSpec], float]:
@@ -294,6 +374,11 @@ class NetworkModel:
         configured).  Loopback transfers occupy nothing.  The latency
         is the channel's RTT, charged once per transfer as in the
         analytic model.
+
+        When the source has a regional uplink slice toward the
+        destination's region (:meth:`set_regional_uplink`), that slice
+        replaces the monolithic uplink for this path.  Every spec
+        carries the shard that owns it (see :meth:`set_region`).
         """
         if not src_is_registry and src == dst:
             return [], 0.0
@@ -309,13 +394,28 @@ class NetworkModel:
             assert chan is not None  # loopback handled above
             channel = chan
         specs: List[LinkSpec] = []
-        up = self._uplinks.get(src)
-        if up is not None:
-            specs.append(LinkSpec(f"up:{src}", up))
-        specs.append(LinkSpec(f"chan:{src}->{dst}", channel.bandwidth_mbps))
+        dst_region = self._regions.get(dst)
+        regional_up = self.regional_uplink_mbps(src, dst_region)
+        if regional_up is not None:
+            specs.append(
+                LinkSpec(f"up:{src}@{dst_region}", regional_up, dst_region)
+            )
+        else:
+            up = self._uplinks.get(src)
+            if up is not None:
+                specs.append(
+                    LinkSpec(f"up:{src}", up, self._endpoint_shard(src))
+                )
+        specs.append(LinkSpec(
+            f"chan:{src}->{dst}",
+            channel.bandwidth_mbps,
+            self._channel_shard(src, dst, src_is_registry),
+        ))
         down = self._downlinks.get(dst)
         if down is not None:
-            specs.append(LinkSpec(f"down:{dst}", down))
+            specs.append(
+                LinkSpec(f"down:{dst}", down, self._endpoint_shard(dst))
+            )
         self._path_cache[key] = (specs, channel.rtt_s)
         return list(specs), channel.rtt_s
 

@@ -177,6 +177,7 @@ class GossipDiscovery(DiscoveryBackend):
         observer: str = "__management__",
         latency_s: float = 0.0,
         exchange: str = "push-pull",
+        loss_rate: float = 0.0,
     ) -> None:
         if fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {fanout}")
@@ -191,6 +192,10 @@ class GossipDiscovery(DiscoveryBackend):
                 f"unknown exchange {exchange!r}; expected 'push-pull' or "
                 f"'digest-summary'"
             )
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
         self.sim = sim
         self.fanout = fanout
         self.period_s = period_s
@@ -204,6 +209,11 @@ class GossipDiscovery(DiscoveryBackend):
         #: ships only records strictly newer than what the receiver
         #: already holds (identical merge result, fewer wire records).
         self.exchange = exchange
+        #: Probability each *directed* payload of a round is dropped in
+        #: transit (seeded).  A lost payload costs nothing on the wire
+        #: and merges nothing; anti-entropy re-offers the knowledge
+        #: next round, so convergence survives — just slower.
+        self.loss_rate = loss_rate
         self.observer = observer
         self._rng = np.random.default_rng(seed)
         # viewer -> digest -> holder -> record (second-hand knowledge;
@@ -227,6 +237,8 @@ class GossipDiscovery(DiscoveryBackend):
         #: directions of every exchange) — the wire cost the
         #: digest-summary mode exists to cut.
         self.records_sent = 0
+        #: Directed payloads dropped in transit (``loss_rate`` draws).
+        self.payloads_lost = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -359,6 +371,18 @@ class GossipDiscovery(DiscoveryBackend):
                 self.exchanges += 1
                 deliveries.append((partner, name))
                 deliveries.append((name, partner))
+        if self.loss_rate > 0 and deliveries:
+            # Each directed payload is lost independently.  The draws
+            # happen only when loss is configured, so loss_rate=0 runs
+            # consume the exact historical RNG stream.
+            draws = self._rng.random(len(deliveries))
+            kept: List[Tuple[str, str]] = []
+            for pair, draw in zip(deliveries, draws):
+                if draw < self.loss_rate:
+                    self.payloads_lost += 1
+                else:
+                    kept.append(pair)
+            deliveries = kept
         if self.latency_s > 0 and self.sim is not None:
             # Metadata takes time to cross the wire: the whole round's
             # payloads (snapshotted above) land latency_s later, so

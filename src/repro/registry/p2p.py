@@ -1071,6 +1071,7 @@ class AdaptiveReplicator:
         engine: Optional[TransferEngine] = None,
         churn: Optional["ChurnProcess"] = None,
         hotness: str = "global",
+        hot_fraction: Optional[float] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -1083,6 +1084,16 @@ class AdaptiveReplicator:
                 f"unknown hotness scope {hotness!r}; expected 'global' or "
                 f"'per-region'"
             )
+        if hot_fraction is not None:
+            if not 0.0 < hot_fraction <= 1.0:
+                raise ValueError(
+                    f"hot_fraction must be in (0, 1], got {hot_fraction}"
+                )
+            if hotness != "per-region":
+                raise ValueError(
+                    "hot_fraction scales the per-region threshold; it needs "
+                    f"hotness='per-region' (got {hotness!r})"
+                )
         self.sim = sim
         self.swarm = swarm
         self.interval_s = interval_s
@@ -1109,6 +1120,13 @@ class AdaptiveReplicator:
         #: proactive copy when its own demand score clears the
         #: threshold — colder regions wait for their first pull.
         self.hotness = hotness
+        #: Per-region auto-scaling: when set, a (digest, region) pair
+        #: is hot when its score reaches ``hot_fraction`` of the
+        #: cycle's *peak* per-region score, not the absolute
+        #: ``hot_threshold``.  Per-region scores shrink as regions do,
+        #: so the absolute knob goes deaf on small regions; the
+        #: fraction adapts to whatever magnitude the cycle carries.
+        self.hot_fraction = hot_fraction
         self.history: List[ReplicatorCycle] = []
         self.bytes_replicated = 0
         self._scores: Dict[Tuple[str, str], float] = {}
@@ -1152,10 +1170,21 @@ class AdaptiveReplicator:
             # decayed demand; hot digests are those hot *somewhere*,
             # ranked by swarm-wide score exactly like the global policy
             # so the two scopes stay comparable cycle for cycle.
-            hot_pairs = {
-                key for key, score in scores.items()
-                if score >= self.hot_threshold
-            }
+            if self.hot_fraction is not None:
+                # Auto-scaled threshold: a fraction of this cycle's
+                # peak per-region score.  The peak pair is hot by
+                # construction, so a cycle with any demand always acts.
+                peak = max(scores.values(), default=0.0)
+                threshold = self.hot_fraction * peak
+                hot_pairs = {
+                    key for key, score in scores.items()
+                    if peak > 0.0 and score >= threshold
+                }
+            else:
+                hot_pairs = {
+                    key for key, score in scores.items()
+                    if score >= self.hot_threshold
+                }
             hot = sorted(
                 {digest for digest, _region in hot_pairs},
                 key=lambda d: (-swarm_score[d], d),

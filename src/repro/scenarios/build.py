@@ -98,6 +98,7 @@ def build_swarm_scenario(spec: ScenarioSpec) -> SwarmScenario:
     by_region: Dict[str, List[str]] = {}
     for dev in devices:
         by_region.setdefault(dev.region, []).append(dev.name)
+        network.set_region(dev.name, dev.region)
     ordered_regions = sorted(by_region.items())
     for r, (region, members) in enumerate(ordered_regions):
         if len(members) > 1:
@@ -111,10 +112,15 @@ def build_swarm_scenario(spec: ScenarioSpec) -> SwarmScenario:
     # of each region): slower than the LAN but they make cross-region
     # peer serving and proactive replication physically possible — a
     # region no holder can reach cannot be provisioned peer-to-peer.
-    gateways = [members[0] for _, members in ordered_regions]
-    for i, a in enumerate(gateways):
-        for b in gateways[i + 1:]:
-            network.connect_devices(a, b, 200.0, rtt_s=0.05)
+    # The mesh is quadratic in region count; `inter_region_mesh=False`
+    # drops it (the 100k-scale presets must — 4000 regions would mean
+    # ~8M WAN channels) and leaves cross-region traffic to the
+    # registry tiers.
+    if topo.inter_region_mesh:
+        gateways = [members[0] for _, members in ordered_regions]
+        for i, a in enumerate(gateways):
+            for b in gateways[i + 1:]:
+                network.connect_devices(a, b, 200.0, rtt_s=0.05)
 
     # --- endpoint shaping (contended scenarios) ------------------------
     if topo.device_nic_mbps is not None:
@@ -125,6 +131,18 @@ def build_swarm_scenario(spec: ScenarioSpec) -> SwarmScenario:
         network.set_uplink(hub.name, topo.hub_egress_mbps)
     if topo.regional_egress_mbps is not None:
         network.set_uplink(regional.name, topo.regional_egress_mbps)
+    # Per-region trunk slices: each region pulls from the registries
+    # over its own egress link (owned by that region's shard) instead
+    # of one monolithic uplink that couples every region's pulls into
+    # a single fairness component.
+    if topo.hub_trunk_mbps is not None:
+        for region in by_region:
+            network.set_regional_uplink(hub.name, region, topo.hub_trunk_mbps)
+    if topo.regional_trunk_mbps is not None:
+        for region in by_region:
+            network.set_regional_uplink(
+                regional.name, region, topo.regional_trunk_mbps
+            )
 
     # --- the pull schedule ---------------------------------------------
     if work.kind == "zipf":

@@ -244,6 +244,47 @@ register(
 )
 
 register(
+    "p2p-swarm-100k",
+    lambda: ScenarioSpec(
+        mode="hybrid+p2p",
+        # 5000 LAN islands of 20 devices.  Registry egress is sliced
+        # into per-region trunk links instead of one monolithic uplink:
+        # a shared uplink would couple every in-flight registry pull on
+        # the planet into one connected component, while a trunk slice
+        # keeps each region's closure regional — the topology the
+        # sharded deadline index is built for.  The inter-region
+        # gateway mesh is off because it is quadratic in regions
+        # (5000 regions would mean ~25M WAN channels); inter-region
+        # traffic rides the trunks.
+        topology=TopologySpec(
+            n_devices=100_000,
+            n_regions=5000,
+            cache_gb=12.0,
+            device_nic_mbps=400.0,
+            hub_trunk_mbps=50.0,
+            regional_trunk_mbps=200.0,
+            inter_region_mesh=False,
+        ),
+        workload=_cold_waves(stagger_s=0.01),
+        transfer=TransferSpec(
+            model="time-resolved",
+            upload_budget=4,
+            recompute="sharded",
+        ),
+        # One replication sweep scans every tracked digest x region;
+        # at 100k devices even the 600 s swarm-scale cadence would
+        # dominate the run, so sweep once per wave gap.
+        replication=ReplicationSpec(interval_s=1800.0),
+    ),
+    description=(
+        "100k-device cold waves over 5000 trunk-sliced regions through "
+        "the region-sharded engine — the interactive-scale benchmark "
+        "scenario"
+    ),
+    family="p2p-swarm-scale",
+)
+
+register(
     "p2p-swarm-scale",
     lambda: ScenarioSpec(
         mode="hybrid+p2p",

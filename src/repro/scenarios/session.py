@@ -62,6 +62,9 @@ class ModeOutcome:
     #: View records shipped over the gossip metadata plane (0
     #: omniscient) — the wire cost the digest-summary exchange cuts.
     gossip_records_sent: int = 0
+    #: Directed gossip payloads dropped in transit (0 omniscient or
+    #: with ``gossip_loss_rate=0``).
+    gossip_payloads_lost: int = 0
     #: Simulated time at which the *last* pull of the run completed —
     #: the cold-start makespan on a wave schedule (0 with no pulls).
     makespan_s: float = 0.0
@@ -111,6 +114,7 @@ class ModeOutcome:
             "rejoins": self.rejoins,
             "gossip_rounds": self.gossip_rounds,
             "gossip_records_sent": self.gossip_records_sent,
+            "gossip_payloads_lost": self.gossip_payloads_lost,
             "makespan_s": self.makespan_s,
             "longest_pull_s": self.longest_pull_s,
             "bytes_wasted": self.bytes_wasted,
@@ -179,6 +183,7 @@ class SimulationSession:
                 view_cap=spec.discovery.gossip_view_cap,
                 latency_s=spec.discovery.gossip_latency_s,
                 exchange=spec.discovery.gossip_exchange,
+                loss_rate=spec.discovery.gossip_loss_rate,
                 seed=self.rng.derive_seed("p2p.gossip") % (2**32),
             )
             self.swarm = PeerSwarm(scenario.network, discovery=self.discovery)
@@ -211,6 +216,7 @@ class SimulationSession:
                 scenario.network,
                 default_upload_budget=spec.transfer.upload_budget,
                 incremental=(spec.transfer.recompute == "incremental"),
+                sharded=(spec.transfer.recompute == "sharded"),
             )
 
         self._busy: Dict[str, int] = {}
@@ -234,6 +240,7 @@ class SimulationSession:
                 target_replicas=spec.replication.target_replicas,
                 decay=spec.replication.decay,
                 hotness=spec.replication.hotness,
+                hot_fraction=spec.replication.hot_fraction,
                 engine=self.engine,
                 churn=(
                     self.churn_process
@@ -332,6 +339,7 @@ class SimulationSession:
         if self.discovery is not None:
             outcome.gossip_rounds = self.discovery.rounds
             outcome.gossip_records_sent = self.discovery.records_sent
+            outcome.gossip_payloads_lost = self.discovery.payloads_lost
             # Replicator-side misses are metered on the backend, not on
             # any pull result; fold the total in so the outcome's
             # counter matches the swarm-wide one.

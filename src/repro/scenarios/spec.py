@@ -67,6 +67,17 @@ class TopologySpec:
     ``hub_egress_mbps`` / ``regional_egress_mbps`` cap the registries'
     shared egress.  ``None`` (the default) leaves endpoints unshaped,
     matching the original layer-sharing scenario.
+
+    ``hub_trunk_mbps`` / ``regional_trunk_mbps`` instead give each
+    registry a **per-region egress slice** of that capacity — pulls
+    toward different regions ride separate trunk links owned by the
+    destination region's shard, so registry traffic never couples
+    regions into one fairness component.  A trunk knob excludes the
+    monolithic egress knob for the same registry tier (they describe
+    the same wire).  ``inter_region_mesh=False`` drops the
+    gateway-to-gateway WAN mesh (quadratic in region count — required
+    off at the 100k scale); cross-region peer pulls then fall back to
+    the registry tiers.
     """
 
     n_devices: int = 12
@@ -75,6 +86,9 @@ class TopologySpec:
     device_nic_mbps: Optional[float] = None
     hub_egress_mbps: Optional[float] = None
     regional_egress_mbps: Optional[float] = None
+    hub_trunk_mbps: Optional[float] = None
+    regional_trunk_mbps: Optional[float] = None
+    inter_region_mesh: bool = True
 
     def __post_init__(self) -> None:
         if self.n_devices < 2:
@@ -83,10 +97,24 @@ class TopologySpec:
             raise ValueError(f"n_regions must be >= 1, got {self.n_regions}")
         _require_positive("cache_gb", self.cache_gb)
         for name in ("device_nic_mbps", "hub_egress_mbps",
-                     "regional_egress_mbps"):
+                     "regional_egress_mbps", "hub_trunk_mbps",
+                     "regional_trunk_mbps"):
             value = getattr(self, name)
             if value is not None:
                 _require_positive(name, value)
+        if self.hub_trunk_mbps is not None and self.hub_egress_mbps is not None:
+            raise ValueError(
+                "hub_trunk_mbps and hub_egress_mbps both shape hub egress; "
+                "set one (per-region trunk slices or one monolithic link)"
+            )
+        if (
+            self.regional_trunk_mbps is not None
+            and self.regional_egress_mbps is not None
+        ):
+            raise ValueError(
+                "regional_trunk_mbps and regional_egress_mbps both shape "
+                "regional-registry egress; set one"
+            )
 
 
 @dataclass(frozen=True)
@@ -148,8 +176,10 @@ class WorkloadSpec:
 #: ``"full"`` re-solves every active transfer per event (the
 #: historically pinned default); ``"incremental"`` re-solves only the
 #: dirty closure the event perturbed — identical rates, swarm-scale
-#: event cost.
-RECOMPUTE_MODES = ("full", "incremental")
+#: event cost.  ``"sharded"`` adds region-sharded deadline-index
+#: maintenance on top of the incremental mode — still bit-identical,
+#: and index upkeep scales with the busy region instead of the swarm.
+RECOMPUTE_MODES = ("full", "incremental", "sharded")
 
 
 @dataclass(frozen=True)
@@ -231,6 +261,7 @@ _GOSSIP_KNOB_DEFAULTS = {
     "gossip_view_cap": 8,
     "gossip_latency_s": 0.0,
     "gossip_exchange": "push-pull",
+    "gossip_loss_rate": 0.0,
 }
 
 
@@ -247,6 +278,9 @@ class DiscoverySpec:
     ``gossip_latency_s`` models per-pair metadata delivery latency:
     exchanged knowledge lands that many simulated seconds after the
     round fires, so views lag reality by a period *plus* the transport.
+    ``gossip_loss_rate`` drops each directed payload independently
+    with that probability (seeded, metered as ``payloads_lost``) —
+    anti-entropy still converges, just over more rounds.
     """
 
     backend: str = "omniscient"
@@ -255,6 +289,7 @@ class DiscoverySpec:
     gossip_view_cap: Optional[int] = None
     gossip_latency_s: Optional[float] = None
     gossip_exchange: Optional[str] = None
+    gossip_loss_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend not in DISCOVERY_BACKENDS:
@@ -284,6 +319,11 @@ class DiscoverySpec:
                 raise ValueError(
                     f"unknown gossip_exchange {self.gossip_exchange!r}; "
                     f"expected one of {GOSSIP_EXCHANGES}"
+                )
+            if not 0.0 <= self.gossip_loss_rate < 1.0:
+                raise ValueError(
+                    f"gossip_loss_rate must be in [0, 1), got "
+                    f"{self.gossip_loss_rate}"
                 )
         else:
             set_knobs = [
@@ -348,6 +388,14 @@ class ReplicationSpec:
     the scenario's churn process to the replicator so replica targets
     weight holders by observed session lengths — it therefore requires
     the scenario to define churn (enforced by :class:`ScenarioSpec`).
+
+    ``hot_fraction`` (per-region hotness only) auto-scales the hot
+    threshold to each cycle's demand: a ``(digest, region)`` pair is
+    hot when its decayed score reaches that fraction of the cycle's
+    peak per-region score, instead of clearing the absolute
+    ``hot_threshold``.  Per-region scores shrink with region size, so
+    an absolute threshold tuned for one topology silently goes deaf on
+    another — the fraction is scale-free.
     """
 
     interval_s: float = 120.0
@@ -356,6 +404,7 @@ class ReplicationSpec:
     decay: float = 0.5
     hotness: str = "global"
     churn_aware: bool = False
+    hot_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         _require_positive("interval_s", self.interval_s)
@@ -373,6 +422,16 @@ class ReplicationSpec:
                 f"unknown hotness scope {self.hotness!r}; expected one of "
                 f"{HOTNESS_SCOPES}"
             )
+        if self.hot_fraction is not None:
+            if not 0.0 < self.hot_fraction <= 1.0:
+                raise ValueError(
+                    f"hot_fraction must be in (0, 1], got {self.hot_fraction}"
+                )
+            if self.hotness != "per-region":
+                raise ValueError(
+                    "hot_fraction scales the per-region hot threshold; it "
+                    f"needs hotness='per-region' (got {self.hotness!r})"
+                )
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,20 @@ becomes lazy (per-transfer ``settled_s``) and completions are tracked
 in a deadline heap instead of a rescan, so an event on an idle corner
 of a 10k-device swarm costs the size of its component, not the swarm.
 
+``sharded=True`` layers region sharding on top of the incremental
+mode: every link carries the region that owns it (the ``shard`` field
+of :class:`~repro.model.network.LinkSpec`, :data:`~repro.model.network.TRUNK`
+for inter-region links), each transfer homes in a shard, and the
+single global deadline heap becomes **per-shard heaps** under a
+shard-front heap.  An event in region A touches A's heap (plus the
+trunk's, when it crosses regions) — never region B's — so the lazy
+index scales with the busy region, not the swarm.  Closure search is
+unchanged: a transfer spanning shards joins their closures for that
+solve and for nothing else, which is the cross-shard merge rule.  The
+shard fronts always republish to the true global minimum before the
+wake is (re)armed, so the timeout-creation pattern — and therefore
+the whole event trace — is bit-identical to the incremental mode.
+
 Which model a simulation uses is selected by :class:`TransferModel`:
 ``ANALYTIC`` keeps the paper-faithful instant-accounting path bit-for-
 bit, ``TIME_RESOLVED`` routes transfers through this engine.
@@ -45,6 +59,7 @@ import heapq
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..model.network import TRUNK
 from ..model.units import BYTES_PER_MB, bytes_to_mb, MBIT_PER_MB, transfer_time_s
 from .engine import Simulator
 from .events import Event
@@ -106,13 +121,20 @@ class TransferCancelled(Exception):
 class Link:
     """One shared channel: a capacity and the transfers crossing it."""
 
-    __slots__ = ("name", "capacity_mbps", "transfers", "peak_utilisation_mbps")
+    __slots__ = (
+        "name", "capacity_mbps", "shard", "transfers", "peak_utilisation_mbps"
+    )
 
-    def __init__(self, name: str, capacity_mbps: float) -> None:
+    def __init__(
+        self, name: str, capacity_mbps: float, shard: str = TRUNK
+    ) -> None:
         if capacity_mbps <= 0:
             raise ValueError(f"link {name!r} capacity must be > 0")
         self.name = name
         self.capacity_mbps = capacity_mbps
+        #: Region that owns this link for per-shard scheduling
+        #: (:data:`~repro.model.network.TRUNK` when none does).
+        self.shard = shard
         #: Active transfers keyed by transfer id (insertion ordered —
         #: determinism depends on it).
         self.transfers: Dict[int, "Transfer"] = {}
@@ -147,6 +169,7 @@ class Transfer:
         "rate_mbps",
         "active",
         "settled_s",
+        "shard",
     )
 
     def __init__(
@@ -182,6 +205,16 @@ class Transfer:
         #: Simulated time up to which ``remaining_mb`` is accounted
         #: (incremental mode settles lazily, per dirty closure).
         self.settled_s = requested_s
+        #: Home shard for the per-shard deadline index: the last
+        #: region-owned link of the path (the destination side), the
+        #: trunk when the whole path is trunk.  Purely an index
+        #: placement — any deterministic choice yields the same rates.
+        shard = TRUNK
+        for link in reversed(links):
+            if link.shard != TRUNK:
+                shard = link.shard
+                break
+        self.shard = shard
 
     @property
     def lower_bound_s(self) -> float:
@@ -227,6 +260,25 @@ class Transfer:
         )
 
 
+class _Shard:
+    """Per-region slice of the lazy deadline index (sharded mode).
+
+    ``heap`` holds ``(deadline, transfer id, token)`` entries for
+    transfers homed in this shard; ``front`` is the earliest
+    still-valid deadline as of the last publish, ``pub`` the publish
+    stamp that validates this shard's entry in the engine's
+    shard-front heap (older stamps are lazily discarded there).
+    """
+
+    __slots__ = ("name", "heap", "pub", "front")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.heap: List[Tuple[float, int, int]] = []
+        self.pub = 0
+        self.front = float("inf")
+
+
 class TransferEngine:
     """Shared-bandwidth transfer scheduler on the DES clock.
 
@@ -251,6 +303,15 @@ class TransferEngine:
     mode actually re-rates, so scale benchmarks can compare the work
     directly.
 
+    ``sharded=True`` (implies incremental) splits the deadline index
+    by the region shard each link carries: per-shard heaps under a
+    shard-front heap, one global wake armed at the minimum front.
+    Rates, traces and all counters stay bit-identical to the
+    incremental mode (the module docstring explains why); what changes
+    is that deadline-index maintenance — pushes, drains, stale-entry
+    pruning — touches only the shards an event involves instead of one
+    world-sized heap.
+
     Upload budgets
     --------------
     ``default_upload_budget`` caps concurrent uploads *per device
@@ -267,6 +328,7 @@ class TransferEngine:
         default_upload_budget: Optional[int] = None,
         incremental: bool = False,
         self_check: bool = False,
+        sharded: bool = False,
     ) -> None:
         if default_upload_budget is not None and default_upload_budget < 0:
             raise ValueError(
@@ -275,7 +337,8 @@ class TransferEngine:
         self.sim = sim
         self.network = network
         self.default_upload_budget = default_upload_budget
-        self.incremental = incremental
+        self.incremental = incremental or sharded
+        self.sharded = sharded
         self.self_check = self_check
         #: Minimum involved-link count for the numpy bottleneck search;
         #: benchmarks/tests lower it to force (or raise it to disable)
@@ -297,6 +360,14 @@ class TransferEngine:
         self._tokens: Dict[int, int] = {}
         self._token_seq = itertools.count()
         self._wake_deadline = float("inf")
+        # sharded mode: the deadline index above splits into per-shard
+        # heaps; _front_heap holds (front deadline, shard name, pub
+        # stamp) and _touched names the shards whose front may have
+        # moved since the last publish (re-published before every arm,
+        # so the armed wake always tracks the true global minimum).
+        self._shards: Dict[str, _Shard] = {}
+        self._front_heap: List[Tuple[float, str, int]] = []
+        self._touched: set = set()
         # diagnostics
         self.started = 0
         self.completed = 0
@@ -369,7 +440,10 @@ class TransferEngine:
         specs, latency_s = self.network.transfer_path(
             src, dst, src_is_registry=src_is_registry
         )
-        links = tuple(self._link(spec.name, spec.capacity_mbps) for spec in specs)
+        links = tuple(
+            self._link(spec.name, spec.capacity_mbps, spec.shard)
+            for spec in specs
+        )
         transfer = Transfer(
             transfer_id=next(self._ids),
             src=src,
@@ -575,15 +649,22 @@ class TransferEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _link(self, name: str, capacity_mbps: float) -> Link:
+    def _link(
+        self, name: str, capacity_mbps: float, shard: str = TRUNK
+    ) -> Link:
         link = self._links.get(name)
         if link is None:
-            link = Link(name, capacity_mbps)
+            link = Link(name, capacity_mbps, shard)
             self._links[name] = link
         elif link.capacity_mbps != capacity_mbps:
             raise ValueError(
                 f"link {name!r} capacity changed mid-simulation "
                 f"({link.capacity_mbps} -> {capacity_mbps} Mbit/s)"
+            )
+        elif link.shard != shard:
+            raise ValueError(
+                f"link {name!r} shard changed mid-simulation "
+                f"({link.shard!r} -> {shard!r})"
             )
         return link
 
@@ -611,7 +692,14 @@ class TransferEngine:
     def _detach(self, transfer: Transfer) -> None:
         transfer.active = False
         self._active.pop(transfer.id, None)
-        self._tokens.pop(transfer.id, None)
+        had_token = self._tokens.pop(transfer.id, None) is not None
+        if had_token and self.sharded:
+            # The popped token invalidates a heap entry; the home
+            # shard's published front may now be stale, so it must
+            # republish before the next arm (otherwise the wake could
+            # fire earlier than the incremental mode's, skewing the
+            # event trace the modes must share).
+            self._touched.add(transfer.shard)
         for link in transfer.links:
             link.transfers.pop(transfer.id, None)
 
@@ -908,7 +996,10 @@ class TransferEngine:
                 self._push_deadline(transfer)
         if self.self_check:
             self._assert_reference_rates()
-        self._arm_wake_incremental()
+        if self.sharded:
+            self._arm_wake_sharded()
+        else:
+            self._arm_wake_incremental()
 
     def _push_deadline(self, transfer: Transfer) -> None:
         """(Re)index one transfer's predicted completion time."""
@@ -919,9 +1010,14 @@ class TransferEngine:
             )
             token = next(self._token_seq)
             self._tokens[transfer.id] = token
-            heapq.heappush(
-                self._deadline_heap, (deadline, transfer.id, token)
-            )
+            if self.sharded:
+                shard = self._shard(transfer.shard)
+                heapq.heappush(shard.heap, (deadline, transfer.id, token))
+                self._touched.add(shard.name)
+            else:
+                heapq.heappush(
+                    self._deadline_heap, (deadline, transfer.id, token)
+                )
         else:  # pragma: no cover - a filled transfer always has a rate
             self._tokens.pop(transfer.id, None)
 
@@ -993,6 +1089,133 @@ class TransferEngine:
             self._recompute_incremental(seeds)
         else:
             self._arm_wake_incremental()
+
+    # ------------------------------------------------------------------
+    # sharded deadline index (region-sharded mode)
+    # ------------------------------------------------------------------
+    def _shard(self, name: str) -> _Shard:
+        shard = self._shards.get(name)
+        if shard is None:
+            shard = _Shard(name)
+            self._shards[name] = shard
+        return shard
+
+    def shard_fronts(self) -> Dict[str, float]:
+        """Earliest pending deadline per shard (``inf`` when idle) —
+        introspection for tests and diagnostics."""
+        return {name: shard.front for name, shard in self._shards.items()}
+
+    def _arm_wake_sharded(self) -> None:
+        """Republish touched shard fronts, then point the single
+        wake-up at the shard-front heap's earliest valid entry.
+
+        Publishing prunes each touched shard's stale heap tops and,
+        when the front moved, stamps a fresh entry into the front
+        heap (the old stamp invalidates lazily).  Untouched shards
+        cannot have a stale top — every token change marks its shard —
+        so the front-heap minimum equals the minimum over *all* valid
+        deadlines, exactly what the incremental mode arms at.
+        """
+        if self._touched:
+            for name in sorted(self._touched):
+                shard = self._shards[name]
+                heap = shard.heap
+                while heap and self._tokens.get(heap[0][1]) != heap[0][2]:
+                    heapq.heappop(heap)
+                front = heap[0][0] if heap else float("inf")
+                if front != shard.front:
+                    shard.front = front
+                    shard.pub += 1
+                    if front != float("inf"):
+                        heapq.heappush(
+                            self._front_heap, (front, name, shard.pub)
+                        )
+            self._touched.clear()
+        fronts = self._front_heap
+        while fronts and self._shards[fronts[0][1]].pub != fronts[0][2]:
+            heapq.heappop(fronts)
+        live = self._wake is not None and not self._wake.processed
+        if not fronts:
+            if live:
+                self._generation += 1
+                self._wake.void()
+                self._wake = None
+            return
+        deadline = fronts[0][0]
+        if live:
+            if deadline == self._wake_deadline:
+                return  # armed wake already fires at the right time
+            self._wake.void()
+        self._generation += 1
+        generation = self._generation
+        wake = self.sim.timeout(max(0.0, deadline - self.sim.now))
+        wake.add_callback(
+            lambda _evt, g=generation: self._on_wake_sharded(g)
+        )
+        self._wake = wake
+        self._wake_deadline = deadline
+
+    def _on_wake_sharded(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale wake-up: the front heap changed since
+        now = self.sim.now
+        fronts = self._front_heap
+        finished: List[Transfer] = []
+        while fronts:
+            front, name, pub = fronts[0]
+            shard = self._shards[name]
+            if shard.pub != pub:
+                heapq.heappop(fronts)
+                continue
+            if front > now:
+                break
+            heapq.heappop(fronts)
+            self._drain_shard(shard, now, finished)
+            self._touched.add(name)
+        if finished:
+            seeds: List[Link] = []
+            for transfer in sorted(finished, key=lambda t: t.id):
+                seeds.extend(transfer.links)
+                self._finish(transfer)
+            self._recompute_incremental(seeds)
+        else:
+            self._arm_wake_sharded()
+
+    def _drain_shard(
+        self, shard: _Shard, now: float, finished: List[Transfer]
+    ) -> None:
+        """Pop one shard's due entries — the incremental drain loop,
+        scoped to the shard.  A shard whose published front is later
+        than ``now`` provably has no due entry (the front *is* its
+        minimum valid deadline), which is why undrained shards need no
+        scan at all."""
+        heap = shard.heap
+        while heap:
+            deadline, tid, token = heap[0]
+            if self._tokens.get(tid) != token:
+                heapq.heappop(heap)
+                continue
+            if deadline > now:
+                break
+            heapq.heappop(heap)
+            transfer = self._active[tid]
+            self._settle_one(transfer)
+            if transfer.remaining_mb <= _EPS_MB:
+                finished.append(transfer)
+                continue
+            # Same force-finish rule as the incremental drain: a
+            # re-predicted deadline that cannot advance the clock
+            # finishes now, or progress stalls on float residue.
+            deadline = (
+                transfer.settled_s
+                + transfer.remaining_mb * MBIT_PER_MB / transfer.rate_mbps
+            )
+            if deadline <= now:
+                finished.append(transfer)
+            else:
+                token = next(self._token_seq)
+                self._tokens[tid] = token
+                heapq.heappush(heap, (deadline, tid, token))
 
     def _assert_reference_rates(self) -> None:
         """Compare live rates against the scalar full-fill oracle

@@ -8,10 +8,10 @@ deferred to the sweep engine ship here:
 ``replicator-policy``
     How the adaptive replicator's *policy* knobs move the
     origin-traffic / proactive-copy trade-off on the layer-sharing
-    workload: demand-decay (how long demand is remembered) crossed
-    with hotness scope (global: one hot digest tops up every region;
-    per-region: only regions whose own demand cleared the threshold
-    receive copies).
+    workload: demand-decay (how long demand is remembered) swept
+    across two hotness-scope arms (global: one absolute threshold
+    tops up every region; per-region: a fraction-of-region-peak
+    cutoff that auto-scales with each region's own demand).
 
 ``gossip-transport``
     How the gossip *transport* moves the discovery realism gap:
@@ -19,7 +19,8 @@ deferred to the sweep engine ship here:
     lag a period plus the wire) crossed with the exchange mode
     (full push-pull payloads vs digest-summary deltas, which converge
     identically while shipping far fewer records —
-    ``gossip_records_sent`` is the metered wire cost).
+    ``gossip_records_sent`` is the metered wire cost) and per-payload
+    loss (seeded drops, ``payloads_lost`` metered).
 """
 
 from __future__ import annotations
@@ -88,16 +89,25 @@ register_sweep(
             "workload"
         ),
         preset="p2p",
-        # The preset's hot_threshold (3.0) is tuned for swarm-wide
-        # scores; per-region demand on this workload never reaches it,
-        # which would leave half the grid degenerate (zero copies).
-        # One pull per interval (1.0) keeps both scopes live.  The
-        # empty-label variant is the sweep's base bundle: applied to
-        # every cell, absent from the identity columns.
-        variants={"": {"replication.hot_threshold": 1.0}},
+        # Hotness scope rides the variants, not an axis: each scope
+        # carries its own threshold knob.  The global arm keeps an
+        # absolute cutoff (the preset's 3.0 is tuned for swarm-wide
+        # scores; 1.0 keeps this workload live), while the per-region
+        # arm uses the auto-scaled fraction-of-region-peak cutoff —
+        # ``hot_fraction`` is only valid under per-region hotness, so
+        # it cannot ride a crossed axis or a shared base bundle.
+        variants={
+            "global": {
+                "replication.hotness": "global",
+                "replication.hot_threshold": 1.0,
+            },
+            "per-region": {
+                "replication.hotness": "per-region",
+                "replication.hot_fraction": 0.6,
+            },
+        },
         axes={
             "replication.decay": (0.0, 0.5, 0.9),
-            "replication.hotness": ("global", "per-region"),
         },
         seeds=(20250323, 7),
     ),
@@ -120,6 +130,7 @@ register_sweep(
         axes={
             "discovery.gossip_latency_s": (0.0, 30.0, 120.0),
             "discovery.gossip_exchange": ("push-pull", "digest-summary"),
+            "discovery.gossip_loss_rate": (0.0, 0.1, 0.3),
         },
         seeds=(20250323, 7),
     ),

@@ -121,11 +121,21 @@ def _store_cached(
 
 @dataclass
 class SweepStats:
-    """Execution accounting of one :func:`run_sweep` call."""
+    """Execution accounting of one :func:`run_sweep` call.
+
+    ``cells`` counts the grid's declared cells; each is then exactly
+    one of **executed** (ran this call), a **cache hit** (loaded from
+    the on-disk results cache), or **deduped** (its content hash
+    matched an earlier cell of the same grid — identical spec, one
+    run, shared row).  The three are reported separately because a
+    resume log that folds dedups into cache hits reads as if the disk
+    cache served cells it never held.
+    """
 
     cells: int = 0
     executed: int = 0
     cache_hits: int = 0
+    deduped: int = 0
     workers: int = 1
     wall_s: float = 0.0
 
@@ -138,6 +148,7 @@ class SweepStats:
             "cells": self.cells,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
             "workers": self.workers,
             "wall_s": self.wall_s,
             "cells_per_s": self.cells_per_s,
@@ -256,7 +267,12 @@ def run_sweep(
     result.stats = SweepStats(
         cells=len(cells),
         executed=len(payloads),
-        cache_hits=len(cells) - len(payloads),
+        # Distinct claimed cells the disk cache served vs duplicate
+        # cells collapsed by the claimed-set dedup — folding the two
+        # together used to make fresh runs of duplicate-bearing grids
+        # report phantom cache hits.
+        cache_hits=len(claimed) - len(payloads),
+        deduped=len(cells) - len(claimed),
         workers=workers,
         wall_s=time.perf_counter() - started,
     )

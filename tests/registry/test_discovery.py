@@ -398,3 +398,79 @@ class TestReplicatorUnderGossip:
         assert cycle.actions == ()
         assert disc.stale_misses >= 1
         assert "a0" not in disc.management_view(D[0])
+
+
+# ----------------------------------------------------------------------
+# gossip backend: lossy transport
+# ----------------------------------------------------------------------
+class TestGossipLoss:
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError, match="loss_rate"):
+            GossipDiscovery(loss_rate=1.0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            GossipDiscovery(loss_rate=-0.1)
+
+    def test_zero_loss_is_the_exact_lossless_stream(self):
+        """``loss_rate=0`` must not draw from the RNG at all, so its
+        view evolution is byte-identical to a backend built before the
+        knob existed (same seed, same partner choices, same views)."""
+        baseline = GossipDiscovery(fanout=2, period_s=30.0, seed=3)
+        lossless = GossipDiscovery(
+            fanout=2, period_s=30.0, seed=3, loss_rate=0.0
+        )
+        _s1, caches1 = mesh_swarm(n=6, discovery=baseline)
+        _s2, caches2 = mesh_swarm(n=6, discovery=lossless)
+        caches1["d0"].add(D[0], 10)
+        caches2["d0"].add(D[0], 10)
+        for _ in range(12):
+            baseline.run_round()
+            lossless.run_round()
+        assert lossless.payloads_lost == 0
+        assert lossless.records_sent == baseline.records_sent
+        for viewer in caches1:
+            assert lossless.view(viewer, D[0]) == baseline.view(viewer, D[0])
+
+    def test_drops_are_metered_and_seeded(self):
+        def run(seed):
+            disc = GossipDiscovery(
+                fanout=2, period_s=30.0, seed=seed, loss_rate=0.5
+            )
+            _swarm, caches = mesh_swarm(n=6, discovery=disc)
+            caches["d0"].add(D[0], 10)
+            for _ in range(12):
+                disc.run_round()
+            return disc
+
+        first, second = run(seed=3), run(seed=3)
+        assert first.payloads_lost > 0
+        # same seed, same drops: the loss process is part of the
+        # deterministic replay surface
+        assert first.payloads_lost == second.payloads_lost
+        assert first.records_sent == second.records_sent
+
+    def test_lossy_rounds_still_converge(self):
+        disc = GossipDiscovery(
+            fanout=2, period_s=30.0, seed=3, loss_rate=0.3
+        )
+        swarm, caches = mesh_swarm(n=6, discovery=disc)
+        caches["d0"].add(D[0], 10)
+        caches["d4"].add(D[0], 10)
+        for _ in range(3 * 6 * 4):  # extra anti-entropy rounds
+            disc.run_round()
+        assert disc.payloads_lost > 0
+        for viewer in swarm.devices():
+            expected = {"d0", "d4"} - {viewer}
+            assert disc.view(viewer, D[0]) == expected
+
+    def test_loss_ships_fewer_records_than_lossless(self):
+        def run(loss_rate):
+            disc = GossipDiscovery(
+                fanout=2, period_s=30.0, seed=3, loss_rate=loss_rate
+            )
+            _swarm, caches = mesh_swarm(n=6, discovery=disc)
+            caches["d0"].add(D[0], 10)
+            for _ in range(12):
+                disc.run_round()
+            return disc
+
+        assert run(0.6).records_sent < run(0.0).records_sent

@@ -558,3 +558,95 @@ class TestChurnAwareReplication:
         self.heat(swarm)
         cycle = replicator.run_cycle()
         assert not any(a.region == "r1" for a in cycle.actions)
+
+
+# ----------------------------------------------------------------------
+# auto-scaled per-region hotness (hot_fraction)
+# ----------------------------------------------------------------------
+class TestHotFraction:
+    """``hot_fraction`` replaces the absolute per-region threshold with
+    a fraction of the cycle's peak (digest, region) score, so the
+    policy sweep no longer needs a hand-tuned cutoff per workload."""
+
+    def build(self, regions=("r0", "r1", "r2"), per_region=2, **kwargs):
+        network = NetworkModel()
+        names = []
+        for region in regions:
+            members = [f"{region}-d{i}" for i in range(per_region)]
+            names.extend((m, region) for m in members)
+            network.connect_device_mesh(members, 800.0)
+        all_names = [n for n, _ in names]
+        for i, a in enumerate(all_names):
+            for b in all_names[i + 1:]:
+                if not network.has_device_channel(a, b):
+                    network.connect_devices(a, b, 100.0)
+        swarm = PeerSwarm(network)
+        for name, region in names:
+            swarm.add_device(name, small_cache(1000, name), region=region)
+        sim = Simulator()
+        replicator = AdaptiveReplicator(
+            sim, swarm, interval_s=10.0, hot_threshold=3.0,
+            target_replicas=1, hotness="per-region", **kwargs,
+        )
+        return sim, swarm, replicator
+
+    def test_requires_per_region_hotness(self):
+        sim = Simulator()
+        swarm = PeerSwarm(NetworkModel())
+        with pytest.raises(ValueError, match="per-region"):
+            AdaptiveReplicator(
+                sim, swarm, interval_s=10.0, hotness="global",
+                hot_fraction=0.5,
+            )
+
+    def test_bounds_are_validated(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="hot_fraction"):
+                self.build(hot_fraction=bad)
+
+    def test_peak_region_is_hot_below_the_absolute_threshold(self):
+        # Two pulls never clear the absolute cutoff (3.0); the
+        # fraction-of-peak cutoff acts on them anyway, because the
+        # peak pair defines this cycle's scale.
+        _sim, swarm, replicator = self.build(hot_fraction=1.0)
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(2):
+            swarm.record_demand(D[0], "r1-d0")
+        cycle = replicator.run_cycle()
+        assert D[0] in cycle.hot_digests
+        assert swarm.index.holders(D[0]) & swarm.members("r1")
+
+    def test_sub_peak_regions_stay_cold(self):
+        # r1 peaks at 4 pulls, r2 trails with 1: at hot_fraction 0.8
+        # the cutoff is 3.2, so only r1 is topped up.
+        _sim, swarm, replicator = self.build(hot_fraction=0.8)
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        for _ in range(4):
+            swarm.record_demand(D[0], "r1-d0")
+        swarm.record_demand(D[0], "r2-d0")
+        cycle = replicator.run_cycle()
+        assert swarm.index.holders(D[0]) & swarm.members("r1")
+        assert not (swarm.index.holders(D[0]) & swarm.members("r2"))
+
+    def test_scales_with_the_cycle_peak(self):
+        # The same two-pull region that was hot on its own goes cold
+        # once another region pulls ten times: the threshold follows
+        # the peak up — per-region hotness that needs no retuning.
+        _sim, swarm, replicator = self.build(hot_fraction=0.5)
+        swarm.index.cache_of("r0-d0").add(D[0], 50)
+        swarm.index.cache_of("r0-d0").add(D[1], 50)
+        for _ in range(2):
+            swarm.record_demand(D[0], "r1-d0")
+        for _ in range(10):
+            swarm.record_demand(D[1], "r2-d0")
+        cycle = replicator.run_cycle()
+        assert D[1] in cycle.hot_digests
+        assert swarm.index.holders(D[1]) & swarm.members("r2")
+        # (D[0], r1) scored 2 < 0.5 * 10: cold under the scaled cutoff
+        assert not (swarm.index.holders(D[0]) & swarm.members("r1"))
+
+    def test_quiet_cycle_stays_quiet(self):
+        _sim, _swarm, replicator = self.build(hot_fraction=0.5)
+        cycle = replicator.run_cycle()
+        assert cycle.actions == ()
+        assert cycle.hot_digests == ()

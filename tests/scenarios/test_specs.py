@@ -126,6 +126,43 @@ class TestSectionValidation:
         with pytest.raises(ValueError, match="target_replicas"):
             ReplicationSpec(target_replicas=0)
 
+    def test_sharded_recompute_needs_time_resolved(self):
+        with pytest.raises(ValueError, match="time-resolved"):
+            TransferSpec(model=TransferModel.ANALYTIC, recompute="sharded")
+        spec = TransferSpec(model="time-resolved", recompute="sharded")
+        assert spec.recompute == "sharded"
+
+    def test_trunk_slices_exclude_monolithic_egress(self):
+        with pytest.raises(ValueError, match="hub"):
+            TopologySpec(hub_trunk_mbps=50.0, hub_egress_mbps=500.0)
+        with pytest.raises(ValueError, match="regional"):
+            TopologySpec(
+                regional_trunk_mbps=50.0, regional_egress_mbps=300.0
+            )
+        with pytest.raises(ValueError, match="hub_trunk_mbps"):
+            TopologySpec(hub_trunk_mbps=0.0)
+        spec = TopologySpec(
+            hub_trunk_mbps=50.0,
+            regional_trunk_mbps=200.0,
+            inter_region_mesh=False,
+        )
+        assert not spec.inter_region_mesh
+
+    def test_gossip_loss_rate_bounds(self):
+        with pytest.raises(ValueError, match="gossip_loss_rate"):
+            DiscoverySpec(backend="gossip", gossip_loss_rate=1.0)
+        with pytest.raises(ValueError, match="gossip"):
+            DiscoverySpec(backend="omniscient", gossip_loss_rate=0.1)
+        assert DiscoverySpec(backend="gossip").gossip_loss_rate == 0.0
+
+    def test_hot_fraction_needs_per_region_hotness(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            ReplicationSpec(hotness="per-region", hot_fraction=1.5)
+        with pytest.raises(ValueError, match="per-region"):
+            ReplicationSpec(hotness="global", hot_fraction=0.5)
+        spec = ReplicationSpec(hotness="per-region", hot_fraction=0.5)
+        assert spec.hot_fraction == 0.5
+
     def test_chunk_knobs_positive(self):
         with pytest.raises(ValueError, match="size_bytes"):
             ChunkSpec(size_bytes=0)
