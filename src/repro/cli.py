@@ -35,6 +35,19 @@ fan cells across a worker pool and resume from the content-addressed
 results cache: re-running a finished sweep executes zero cells, and
 editing one axis re-runs only the new cells.
 
+Telemetry (see ``src/repro/telemetry/README.md``) hangs off three
+flags shared by the experiments and the ``scenario`` subcommand::
+
+    python -m repro.cli p2p --trace p2p.trace.json \\
+        --metrics-out p2p.metrics.csv --profile
+    python -m repro.cli scenario p2p-gossip --trace run.jsonl
+
+``--trace FILE`` writes Chrome trace-event JSON (JSONL when FILE ends
+in ``.jsonl``), ``--metrics-out FILE`` writes time-series CSV sampled
+every 60 simulated seconds, and ``--profile`` records the transfer
+engine's self-profile.  All three are observation-only: results are
+bit-identical with and without them.
+
 The swarm experiment list (``p2p`` …) is derived from the scenario
 preset registry (:mod:`repro.scenarios`), so a newly registered
 experiment automatically appears in the choices *and* in ``all`` —
@@ -44,11 +57,12 @@ it cannot be silently forgotten.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Callable, Dict, List
 
-from . import scenarios, sweep
+from . import scenarios, sweep, telemetry
 from .experiments import ablations, cloud, figure3a, figure3b, p2p, table2, table3
 from .experiments.runner import ExperimentResult
 from .sim.rng import DEFAULT_SEED
@@ -61,6 +75,33 @@ assert p2p is not None
 
 #: The deterministic paper artefacts (seed-independent).
 PAPER_TARGETS = ("table2", "table3", "fig3a", "fig3b", "ablations", "cloud")
+
+#: Metrics sampling period ``--metrics-out`` uses when the scenario's
+#: own ``telemetry.metrics_period_s`` does not say otherwise.
+DEFAULT_METRICS_PERIOD_S = 60.0
+
+
+def _write_trace_file(path: str, jsonl_text: str, chrome_doc: Dict) -> None:
+    """``--trace FILE``: JSONL when the name says so, else Chrome JSON."""
+    if path.endswith(".jsonl"):
+        with open(path, "w") as handle:
+            handle.write(jsonl_text)
+    else:
+        with open(path, "w") as handle:
+            json.dump(chrome_doc, handle)
+            handle.write("\n")
+
+
+def _profile_text(label: str, summary: Dict) -> str:
+    """One readable line per profiled engine."""
+    prefix = f"engine profile [{label}]: " if label else "engine profile: "
+    return (
+        f"{prefix}{summary['recomputes']} recomputes "
+        f"({summary['recompute_ns_total'] / 1e6:.1f} ms total, "
+        f"max {summary['recompute_ns_max'] / 1e3:.0f} us), "
+        f"{summary['transfers_rerated']} transfers rerated, "
+        f"closure hist {summary['closure_size_hist']}"
+    )
 
 
 def all_targets() -> List[str]:
@@ -173,6 +214,8 @@ def _outcome_text(preset: str, spec, outcome) -> str:
             f"({outcome.replicator.bytes_replicated / gb:.2f} GB), "
             f"converged={outcome.replicator.converged()}"
         )
+    if outcome.engine_profile is not None:
+        lines.append(_profile_text("", outcome.engine_profile))
     return "\n".join(lines)
 
 
@@ -219,7 +262,31 @@ def _run_scenario_command(args) -> int:
         # field's validation comparison (e.g. --set seed=abc).
         print(f"bad override: {error}", file=sys.stderr)
         return 2
-    outcome = scenarios.SimulationSession(spec).run()
+    if args.trace or args.metrics_out or args.profile:
+        # The flags merge *into* the spec's own telemetry section (a
+        # --set telemetry.* override stays authoritative where given).
+        spec = dataclasses.replace(
+            spec,
+            telemetry=scenarios.TelemetrySpec(
+                trace=spec.telemetry.trace or args.trace is not None,
+                metrics_period_s=(
+                    spec.telemetry.metrics_period_s
+                    if spec.telemetry.metrics_period_s is not None
+                    else (
+                        DEFAULT_METRICS_PERIOD_S if args.metrics_out else None
+                    )
+                ),
+                profile=spec.telemetry.profile or args.profile,
+            ),
+        )
+    session = scenarios.SimulationSession(spec)
+    outcome = session.run()
+    if args.trace:
+        _write_trace_file(
+            args.trace, session.trace.jsonl(), session.trace.chrome_trace()
+        )
+    if args.metrics_out:
+        session.metrics.write_csv(args.metrics_out)
     if args.json:
         print(json.dumps(
             {
@@ -453,7 +520,48 @@ def main(argv: List[str] = None) -> int:
         metavar="FILE",
         help="with 'sweep': also write the full JSON document to a file",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "write a sim-time telemetry trace of the run: Chrome "
+            "trace-event JSON, or JSONL when FILE ends in .jsonl "
+            "(experiments and the scenario subcommand)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        metavar="FILE",
+        help=(
+            "write time-series metrics (inflight transfers, trunk "
+            "utilisation, cache occupancy, gossip staleness) as CSV, "
+            f"sampled every {DEFAULT_METRICS_PERIOD_S:.0f} simulated "
+            "seconds unless telemetry.metrics_period_s overrides it"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "self-profile the transfer engine (recompute wall time, "
+            "closure-size histogram, deadline-heap work counters)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if (
+        (args.trace or args.metrics_out or args.profile)
+        and args.experiment in ("sweep", "calibration")
+    ):
+        # Sweep cells run in pool workers (a process-wide capture
+        # cannot see them) and calibration runs no simulation.
+        print(
+            "--trace/--metrics-out/--profile do not apply to the "
+            f"{args.experiment} subcommand",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.experiment == "scenario":
         return _run_scenario_command(args)
@@ -506,25 +614,51 @@ def main(argv: List[str] = None) -> int:
     else:
         selected = [args.experiment]
 
+    capture = None
+    if args.trace or args.metrics_out or args.profile:
+        # Experiment runners build their sessions internally, so the
+        # flags reach them through a process-wide capture; every
+        # session assembled inside the block registers its recorders
+        # under a stable label (s0, s1, …).
+        capture = telemetry.TelemetryCapture(
+            trace=args.trace is not None,
+            metrics_period_s=(
+                DEFAULT_METRICS_PERIOD_S if args.metrics_out else None
+            ),
+            profile=args.profile,
+        )
+
     # Text output streams per experiment (an `all` run shows tables as
     # they finish); only --json buffers, to emit one valid document.
     json_payload: List[Dict] = []
-    for name in selected:
-        if name == "ablations":
-            produced = [
-                ablations.bandwidth_sweep(),
-                ablations.cache_and_dedup(build_testbed()),
-                ablations.solver_comparison(testbed),
-                ablations.scaling(),
-            ]
-        else:
-            produced = [runs[name]()]
-        for result in produced:
-            if args.json:
-                json_payload.append(result.to_dict())
+    with capture if capture is not None else contextlib.nullcontext():
+        for name in selected:
+            if name == "ablations":
+                produced = [
+                    ablations.bandwidth_sweep(),
+                    ablations.cache_and_dedup(build_testbed()),
+                    ablations.solver_comparison(testbed),
+                    ablations.scaling(),
+                ]
             else:
-                print(result.to_text())
-                print()
+                produced = [runs[name]()]
+            for result in produced:
+                if args.json:
+                    json_payload.append(result.to_dict())
+                else:
+                    print(result.to_text())
+                    print()
+    if capture is not None:
+        if args.trace:
+            _write_trace_file(
+                args.trace, capture.jsonl(), capture.chrome_trace()
+            )
+        if args.metrics_out:
+            with open(args.metrics_out, "w", newline="") as handle:
+                handle.write(capture.metrics_csv())
+        if args.profile and not args.json:
+            for label, summary in capture.profile_summaries().items():
+                print(_profile_text(label, summary))
     if args.json:
         print(json.dumps(
             json_payload[0] if len(json_payload) == 1 else json_payload,

@@ -28,6 +28,10 @@ class Monitor:
 
     def __init__(self) -> None:
         self._events: List[Event] = []
+        # Per-kind index, maintained on append: events_of() is a hot
+        # query in orchestration tests and dashboards, and the log can
+        # hold one line per pod phase change on large runs.
+        self._by_kind: Dict[str, List[Event]] = {}
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
 
@@ -41,6 +45,7 @@ class Monitor:
             )
         event = Event(t_s=t_s, kind=kind, subject=subject, detail=detail)
         self._events.append(event)
+        self._by_kind.setdefault(kind, []).append(event)
         return event
 
     @property
@@ -48,7 +53,8 @@ class Monitor:
         return list(self._events)
 
     def events_of(self, kind: str) -> List[Event]:
-        return [e for e in self._events if e.kind == kind]
+        """Events of one kind, in log (append) order — O(matches)."""
+        return list(self._by_kind.get(kind, ()))
 
     # ------------------------------------------------------------------
     # metrics

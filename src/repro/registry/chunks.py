@@ -463,6 +463,9 @@ class ChunkSwarmPlanner:
         self.chunk_transfers = 0
         self.endgame_dupes = 0
         self.wasted_bytes = 0
+        #: Optional telemetry trace sink (duck-typed, None = off):
+        #: receives one ``chunk.endgame`` record per duplicate start.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # stores and join events
@@ -847,6 +850,11 @@ class ChunkSwarmPlanner:
                 st.outcome.chunk_transfers += 1
                 if duplicate:
                     st.outcome.endgame_dupes += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            engine.sim.now, "chunk.endgame", device,
+                            layer=layer, chunk=index, source=source,
+                        )
                 entry = (transfer, kind, source)
                 st.inflight.setdefault(index, []).append(entry)
                 try:

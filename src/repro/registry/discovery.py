@@ -239,6 +239,10 @@ class GossipDiscovery(DiscoveryBackend):
         self.records_sent = 0
         #: Directed payloads dropped in transit (``loss_rate`` draws).
         self.payloads_lost = 0
+        #: Optional telemetry trace sink (duck-typed, None = off):
+        #: receives one ``gossip.round`` record per round with that
+        #: round's counter deltas.  See :mod:`repro.telemetry`.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # membership
@@ -360,6 +364,10 @@ class GossipDiscovery(DiscoveryBackend):
         names = self.participants()
         if len(names) < 2:
             return
+        if self.trace is not None:
+            sent0 = self.records_sent
+            lost0 = self.payloads_lost
+            exch0 = self.exchanges
         payloads = {name: self._payload(name) for name in names}
         deliveries: List[Tuple[str, str]] = []  # (receiver, sender)
         for name in names:
@@ -392,6 +400,18 @@ class GossipDiscovery(DiscoveryBackend):
             for receiver, sender in deliveries:
                 self._deliver(receiver, payloads[sender])
         self.rounds += 1
+        if self.trace is not None:
+            # Deltas of this round's wire counters (deferred-latency
+            # deliveries land later, so their records count in a later
+            # round's delta — the trace mirrors when work happened).
+            self.trace.record(
+                self.sim.now if self.sim is not None else 0.0,
+                "gossip.round", "",
+                round=self.rounds,
+                records_sent=self.records_sent - sent0,
+                payloads_lost=self.payloads_lost - lost0,
+                exchanges=self.exchanges - exch0,
+            )
 
     def _deliver_later(self, deliveries, payloads):
         yield self.sim.timeout(self.latency_s, daemon=True)

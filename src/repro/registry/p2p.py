@@ -1130,6 +1130,9 @@ class AdaptiveReplicator:
         self.history: List[ReplicatorCycle] = []
         self.bytes_replicated = 0
         self._scores: Dict[Tuple[str, str], float] = {}
+        #: Optional telemetry trace sink (duck-typed, None = off):
+        #: receives one ``replicator.cycle`` record per cycle.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # the DES process
@@ -1152,6 +1155,7 @@ class AdaptiveReplicator:
     # ------------------------------------------------------------------
     def run_cycle(self) -> ReplicatorCycle:
         """Drain demand, refresh scores, replicate, record history."""
+        bytes0 = self.bytes_replicated
         fresh = self.swarm.drain_demand()
         scores: Dict[Tuple[str, str], float] = {}
         for key, score in self._scores.items():
@@ -1219,6 +1223,15 @@ class AdaptiveReplicator:
             },
         )
         self.history.append(cycle)
+        if self.trace is not None:
+            # ``bytes`` is this cycle's delta of *accounted* replica
+            # bytes (engine-backed copies count at commit, so a cycle
+            # whose transfers are still in flight reports 0 here).
+            self.trace.record(
+                self.sim.now, "replicator.cycle", "",
+                hot=len(hot), actions=len(actions),
+                bytes=self.bytes_replicated - bytes0,
+            )
         return cycle
 
     def _replicate(self, digest: str, region: str) -> Optional[ReplicationAction]:

@@ -26,7 +26,12 @@ from .presets import (
     names,
     register,
 )
-from .session import ModeOutcome, SimulationSession
+from .session import (
+    NONDETERMINISTIC_OUTCOME_KEYS,
+    ModeOutcome,
+    SimulationSession,
+    deterministic_outcome_dict,
+)
 from .spec import (
     DISCOVERY_BACKENDS,
     GOSSIP_EXCHANGES,
@@ -38,6 +43,7 @@ from .spec import (
     DiscoverySpec,
     ReplicationSpec,
     ScenarioSpec,
+    TelemetrySpec,
     TopologySpec,
     TransferSpec,
     WorkloadSpec,
@@ -57,12 +63,14 @@ __all__ = [
     "ChurnSpec",
     "DiscoverySpec",
     "ModeOutcome",
+    "NONDETERMINISTIC_OUTCOME_KEYS",
     "Preset",
     "ReplicationSpec",
     "ScenarioSpec",
     "SimulationSession",
     "SwarmDevice",
     "SwarmScenario",
+    "TelemetrySpec",
     "TopologySpec",
     "TransferSpec",
     "WorkloadSpec",
@@ -70,6 +78,7 @@ __all__ = [
     "build_swarm_scenario",
     "canonical_hash",
     "canonical_json",
+    "deterministic_outcome_dict",
     "entries",
     "experiment",
     "experiment_names",

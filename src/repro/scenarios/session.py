@@ -17,6 +17,7 @@ which keeps every experiment output bit-for-bit pinned to PR 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, Optional
 
 from ..model.device import Arch
@@ -28,8 +29,34 @@ from ..sim.churn import ChurnProcess
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
 from ..sim.transfers import TransferEngine
+from ..telemetry import (
+    EngineProfile,
+    MetricsSampler,
+    TraceRecorder,
+    active_capture,
+)
 from .build import SwarmScenario, build_swarm_scenario
 from .spec import ScenarioSpec
+
+#: :meth:`ModeOutcome.to_dict` keys whose values depend on wall-clock
+#: time (build/run timings, the engine self-profile) rather than on the
+#: simulation — every byte-identity surface (differential telemetry
+#: tests, sweep ``aggregate_json``) strips them via
+#: :func:`deterministic_outcome_dict`.
+NONDETERMINISTIC_OUTCOME_KEYS = (
+    "wall_build_s",
+    "wall_run_s",
+    "engine_profile",
+)
+
+
+def deterministic_outcome_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    """An outcome dict minus its wall-clock-dependent keys."""
+    return {
+        key: value
+        for key, value in data.items()
+        if key not in NONDETERMINISTIC_OUTCOME_KEYS
+    }
 
 
 @dataclass
@@ -81,6 +108,18 @@ class ModeOutcome:
     #: visited over the run (0 analytic) — the work counter the
     #: incremental-recompute acceptance ratio is measured on.
     engine_transfers_visited: int = 0
+    #: Wall-clock seconds spent assembling the session (scenario build
+    #: plus wiring).  Wall-clock, hence nondeterministic — every
+    #: byte-identity comparison strips it
+    #: (:data:`NONDETERMINISTIC_OUTCOME_KEYS`).
+    wall_build_s: float = 0.0
+    #: Wall-clock seconds :meth:`SimulationSession.run` took.
+    wall_run_s: float = 0.0
+    #: :meth:`~repro.telemetry.EngineProfile.summary` of the transfer
+    #: engine's self-profile when ``telemetry.profile`` was on (None
+    #: otherwise) — wall-clock-derived, nondeterministic like the
+    #: timings above.
+    engine_profile: Optional[Dict[str, Any]] = None
 
     @property
     def origin_bytes(self) -> int:
@@ -120,6 +159,9 @@ class ModeOutcome:
             "bytes_wasted": self.bytes_wasted,
             "chunk_endgame_dupes": self.chunk_endgame_dupes,
             "engine_transfers_visited": self.engine_transfers_visited,
+            "wall_build_s": self.wall_build_s,
+            "wall_run_s": self.wall_run_s,
+            "engine_profile": self.engine_profile,
             "replicator": None,
         }
         if self.replicator is not None:
@@ -146,8 +188,11 @@ class SimulationSession:
     Sessions are single-use: :meth:`run` consumes the simulator state
     and raises on a second call.  After assembly the wired components
     are exposed (``sim``, ``swarm``, ``caches``, ``facade``,
-    ``engine``, ``discovery``, ``churn_process``, ``replicator``) for
-    tests and diagnostics.
+    ``engine``, ``discovery``, ``churn_process``, ``replicator``, and —
+    when the spec's ``telemetry`` section or an active
+    :class:`~repro.telemetry.TelemetryCapture` enables them —
+    ``trace``, ``metrics``, ``engine_profile``) for tests and
+    diagnostics.
     """
 
     def __init__(
@@ -155,6 +200,7 @@ class SimulationSession:
         spec: ScenarioSpec,
         scenario: Optional[SwarmScenario] = None,
     ) -> None:
+        t0 = perf_counter()
         self.spec = spec
         if scenario is None:
             scenario = build_swarm_scenario(spec)
@@ -167,6 +213,7 @@ class SimulationSession:
         self.scenario = scenario
         self._ran = False
         self._assemble()
+        self._wall_build_s = perf_counter() - t0
 
     # -- wiring ---------------------------------------------------------
     def _assemble(self) -> None:
@@ -249,6 +296,44 @@ class SimulationSession:
                 ),
             )
 
+        # -- telemetry (observation-only; defaults wire nothing) -------
+        # The spec's section and any process-wide capture compose: a
+        # capture only ever *adds* recorders, never disables the spec's.
+        telemetry = spec.telemetry
+        capture = active_capture()
+        trace_on = telemetry.trace or (capture is not None and capture.trace)
+        period = telemetry.metrics_period_s
+        if period is None and capture is not None:
+            period = capture.metrics_period_s
+        profile_on = telemetry.profile or (
+            capture is not None and capture.profile
+        )
+        label = capture.next_label() if capture is not None else ""
+        self.trace: Optional[TraceRecorder] = None
+        self.metrics: Optional[MetricsSampler] = None
+        self.engine_profile: Optional[EngineProfile] = None
+        if trace_on:
+            self.trace = TraceRecorder(label=label)
+            if self.engine is not None:
+                self.engine.trace = self.trace
+            if self.discovery is not None:
+                self.discovery.trace = self.trace
+            if self.churn_process is not None:
+                self.churn_process.trace = self.trace
+            if self.replicator is not None:
+                self.replicator.trace = self.trace
+            if self.facade.chunks is not None:
+                self.facade.chunks.trace = self.trace
+        if period is not None:
+            self.metrics = MetricsSampler(period, label=label)
+        if profile_on and self.engine is not None:
+            self.engine_profile = EngineProfile()
+            self.engine.profile = self.engine_profile
+        if capture is not None:
+            capture.adopt(
+                self.trace, self.metrics, self.engine_profile, label
+            )
+
     # -- execution ------------------------------------------------------
     def run(self) -> ModeOutcome:
         """Execute the scenario's pull schedule; single-use."""
@@ -258,12 +343,38 @@ class SimulationSession:
                 "re-run the scenario"
             )
         self._ran = True
+        t0 = perf_counter()
         spec, scenario = self.spec, self.scenario
         sim, engine, facade = self.sim, self.engine, self.facade
         caches, busy = self.caches, self._busy
         churn_process = self.churn_process
         if churn_process is not None:
             churn_process.start()
+
+        metrics = self.metrics
+        if metrics is not None:
+            # The sampler loop is the session's only telemetry process.
+            # It ticks on daemon timeouts (never extends a horizonless
+            # run) and is scheduled *only* when sampling is on, so the
+            # default event sequence is untouched.
+            discovery, index = self.discovery, self.swarm.index
+
+            def sample_now() -> None:
+                metrics.sample(
+                    sim.now,
+                    engine=engine,
+                    caches=caches,
+                    discovery=discovery,
+                    index=index,
+                )
+
+            def metrics_loop():
+                sample_now()
+                while True:
+                    yield sim.timeout(metrics.period_s, daemon=True)
+                    sample_now()
+
+            sim.process(metrics_loop())
 
         outcome = ModeOutcome(mode=spec.mode)
 
@@ -344,4 +455,8 @@ class SimulationSession:
             # any pull result; fold the total in so the outcome's
             # counter matches the swarm-wide one.
             outcome.stale_peer_misses = self.discovery.stale_misses
+        if self.engine_profile is not None:
+            outcome.engine_profile = self.engine_profile.summary()
+        outcome.wall_build_s = self._wall_build_s
+        outcome.wall_run_s = perf_counter() - t0
         return outcome

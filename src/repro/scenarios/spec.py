@@ -12,6 +12,7 @@ concern — composed into a :class:`ScenarioSpec`:
 * :class:`ChurnSpec`       — stochastic membership (uptime/downtime)
 * :class:`ReplicationSpec` — the adaptive replicator's knobs
 * :class:`ChunkSpec`       — chunked multi-source pulls
+* :class:`TelemetrySpec`   — opt-in traces / metrics / profiling
 
 Every cross-field rule that used to live (or hide) inside ``run_mode``
 is enforced at *construction* time — an invalid combination can never
@@ -453,6 +454,40 @@ class ChunkSpec:
             raise ValueError(f"parallel must be >= 1, got {self.parallel}")
 
 
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Opt-in observability (see :mod:`repro.telemetry`).
+
+    ``trace`` streams structured sim-time events (transfer lifecycle,
+    fair-share reallocations, gossip rounds, churn transitions,
+    replicator cycles, chunk endgame) into a
+    :class:`~repro.telemetry.TraceRecorder`; ``metrics_period_s``
+    schedules a tidy-row :class:`~repro.telemetry.MetricsSampler` at
+    that simulated period (``None`` = no sampler, and nothing extra
+    ever enters the event queue); ``profile`` attaches an
+    :class:`~repro.telemetry.EngineProfile` to the transfer engine.
+
+    Everything defaults off, and the whole section is **omitted** from
+    :meth:`ScenarioSpec.to_dict` while it equals the default — so every
+    historical spec dict, cache key, and sweep-cell content address is
+    preserved bit-for-bit.  Telemetry is observation-only either way:
+    enabling it changes no outcome (the differential tests pin this).
+    """
+
+    trace: bool = False
+    metrics_period_s: Optional[float] = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.metrics_period_s is not None:
+            _require_positive("metrics_period_s", self.metrics_period_s)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sink is requested."""
+        return self.trace or self.profile or self.metrics_period_s is not None
+
+
 #: Sub-spec classes by ScenarioSpec field name, shared by the generic
 #: (de)serialisation below.
 _SECTIONS: Dict[str, type] = {
@@ -463,6 +498,7 @@ _SECTIONS: Dict[str, type] = {
     "churn": ChurnSpec,
     "replication": ReplicationSpec,
     "chunks": ChunkSpec,
+    "telemetry": TelemetrySpec,
 }
 
 
@@ -470,8 +506,8 @@ _SECTIONS: Dict[str, type] = {
 class ScenarioSpec:
     """One fully described simulation run.
 
-    Composes the seven concern specs with the registry-chain ``mode``
-    and the root ``seed``.  All cross-section rules are enforced here,
+    Composes the concern specs with the registry-chain ``mode`` and
+    the root ``seed``.  All cross-section rules are enforced here,
     at construction, so an invalid combination raises immediately —
     never mid-run:
 
@@ -491,6 +527,7 @@ class ScenarioSpec:
     churn: Optional[ChurnSpec] = None
     replication: ReplicationSpec = field(default_factory=ReplicationSpec)
     chunks: ChunkSpec = field(default_factory=ChunkSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -518,6 +555,14 @@ class ScenarioSpec:
         data: Dict[str, Any] = {"mode": self.mode, "seed": self.seed}
         for name in _SECTIONS:
             section = getattr(self, name)
+            if name == "telemetry" and section == TelemetrySpec():
+                # A fully-default telemetry section is omitted, so every
+                # pre-telemetry spec dict — and therefore every cache
+                # key and sweep-cell content address — survives
+                # bit-for-bit.  Non-default telemetry perturbs the key
+                # like any other section (a traced run is a different
+                # cell: its outcome dict differs).
+                continue
             data[name] = None if section is None else _section_to_dict(section)
         return data
 
@@ -689,7 +734,9 @@ def with_overrides(
                     f"{_nearest(path, candidates + _all_override_paths())}"
                 )
                 continue
-            if data[section] is None:
+            # data.get, not data[...]: a fully-default telemetry
+            # section is omitted from to_dict entirely.
+            if data.get(section) is None:
                 data[section] = {}
             data[section][fname] = value
         else:

@@ -124,6 +124,9 @@ class ChurnProcess:
         self._offline_since: Dict[str, float] = {}
         self._session_lengths: Dict[str, List[float]] = {}
         self._downtime_lengths: Dict[str, List[float]] = {}
+        #: Optional telemetry trace sink (duck-typed, None = off):
+        #: receives ``churn.depart`` / ``churn.rejoin`` records.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -179,6 +182,8 @@ class ChurnProcess:
         self._offline_since[device] = self.sim.now
         self.departures += 1
         self.events.append(ChurnEvent(self.sim.now, "depart", device))
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "churn.depart", device)
 
     def _rejoin(self, device: str) -> None:
         cache, region = self._offline.pop(device)
@@ -194,6 +199,8 @@ class ChurnProcess:
         self._online_since[device] = self.sim.now
         self.rejoins += 1
         self.events.append(ChurnEvent(self.sim.now, "rejoin", device))
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "churn.rejoin", device)
 
     # ------------------------------------------------------------------
     # queries

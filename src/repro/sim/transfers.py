@@ -57,6 +57,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+from time import perf_counter_ns
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.network import TRUNK
@@ -379,6 +380,18 @@ class TransferEngine:
         #: mode re-rates every active transfer per event; incremental
         #: mode only its dirty closure).
         self.transfers_visited = 0
+        # telemetry (duck-typed, None = off; see repro.telemetry).
+        #: Optional trace sink receiving transfer.start/finish/cancel
+        #: and engine.reallocate records.
+        self.trace = None
+        #: Optional self-profiler receiving per-recompute wall-clock ns,
+        #: closure sizes, and per-shard heap push/pop/invalidation
+        #: counts ("@global" = the incremental mode's single deadline
+        #: heap, "@front" = the sharded mode's shard-front heap).
+        self.profile = None
+        #: Reallocation-solve sequence (the closure id trace records
+        #: carry — one per fill, shared by the rates it assigned).
+        self._closure_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # upload budgets
@@ -457,6 +470,12 @@ class TransferEngine:
             digest=digest,
         )
         self.started += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "transfer.start", dst,
+                id=transfer.id, src=src, size_bytes=size_bytes,
+                digest=digest, registry=src_is_registry,
+            )
         if not src_is_registry:
             self._uploads.setdefault(src, {})[transfer.id] = transfer
         if digest:
@@ -539,6 +558,12 @@ class TransferEngine:
         # processes the event), so failing after the single recompute
         # preserves the per-victim ordering waiters observe.
         for transfer in victims:
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, "transfer.cancel", transfer.dst,
+                    id=transfer.id, reason=reason,
+                    moved_bytes=transfer.moved_bytes,
+                )
             transfer.done.fail(TransferCancelled(transfer, reason))
         return len(victims)
 
@@ -723,6 +748,12 @@ class TransferEngine:
         transfer.rate_mbps = 0.0
         self.completed += 1
         self.bytes_completed += transfer.size_bytes
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, "transfer.finish", transfer.dst,
+                id=transfer.id,
+                duration_s=transfer.completed_s - transfer.requested_s,
+            )
         transfer.done.succeed(transfer)
 
     def _settle(self) -> None:
@@ -795,6 +826,17 @@ class TransferEngine:
         if record is None:
             self.transfers_visited += len(transfers)
             self._record_peaks(involved)
+            if self.trace is not None:
+                # Integer transfer ids as keys — json.dumps stringifies
+                # them at export; skipping str() here keeps the hot
+                # path inside the tracing overhead budget.
+                self.trace.record(
+                    self.sim.now, "engine.reallocate", "",
+                    closure=next(self._closure_seq), n=len(transfers),
+                    rates={
+                        tid: t.rate_mbps for tid, t in transfers.items()
+                    },
+                )
 
     def _fill_scalar(
         self,
@@ -915,7 +957,14 @@ class TransferEngine:
         self._wake = None
         if not self._active:
             return
-        self._fill(self._active)
+        if self.profile is not None:
+            t0 = perf_counter_ns()
+            self._fill(self._active)
+            self.profile.note_recompute(
+                perf_counter_ns() - t0, len(self._active)
+            )
+        else:
+            self._fill(self._active)
         if self.self_check:
             self._assert_reference_rates()
         # Earliest completion under the new rates.
@@ -960,6 +1009,7 @@ class TransferEngine:
         every-event-scans-everything cost wall.
         """
         self.recomputes += 1
+        t0 = perf_counter_ns() if self.profile is not None else 0
         seen: set = set()
         stack: List[Link] = []
         for link in seeds:
@@ -990,10 +1040,18 @@ class TransferEngine:
                 if rate > link.peak_utilisation_mbps:
                     link.peak_utilisation_mbps = rate
             self._push_deadline(transfer)
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, "engine.reallocate", "",
+                    closure=next(self._closure_seq), n=1,
+                    rates={transfer.id: rate},
+                )
         elif closure:
             self._fill(closure)
             for transfer in closure.values():
                 self._push_deadline(transfer)
+        if self.profile is not None:
+            self.profile.note_recompute(perf_counter_ns() - t0, len(closure))
         if self.self_check:
             self._assert_reference_rates()
         if self.sharded:
@@ -1014,10 +1072,14 @@ class TransferEngine:
                 shard = self._shard(transfer.shard)
                 heapq.heappush(shard.heap, (deadline, transfer.id, token))
                 self._touched.add(shard.name)
+                if self.profile is not None:
+                    self.profile.heap_push(shard.name)
             else:
                 heapq.heappush(
                     self._deadline_heap, (deadline, transfer.id, token)
                 )
+                if self.profile is not None:
+                    self.profile.heap_push("@global")
         else:  # pragma: no cover - a filled transfer always has a rate
             self._tokens.pop(transfer.id, None)
 
@@ -1027,6 +1089,8 @@ class TransferEngine:
         heap = self._deadline_heap
         while heap and self._tokens.get(heap[0][1]) != heap[0][2]:
             heapq.heappop(heap)
+            if self.profile is not None:
+                self.profile.heap_invalidate("@global")
         live = self._wake is not None and not self._wake.processed
         if not heap:
             if live:
@@ -1053,15 +1117,20 @@ class TransferEngine:
             return  # stale wake-up: the heap front changed since
         now = self.sim.now
         heap = self._deadline_heap
+        prof = self.profile
         finished: List[Transfer] = []
         while heap:
             deadline, tid, token = heap[0]
             if self._tokens.get(tid) != token:
                 heapq.heappop(heap)
+                if prof is not None:
+                    prof.heap_invalidate("@global")
                 continue
             if deadline > now:
                 break
             heapq.heappop(heap)
+            if prof is not None:
+                prof.heap_pop("@global")
             transfer = self._active[tid]
             self._settle_one(transfer)
             if transfer.remaining_mb <= _EPS_MB:
@@ -1081,6 +1150,8 @@ class TransferEngine:
                 token = next(self._token_seq)
                 self._tokens[tid] = token
                 heapq.heappush(heap, (deadline, tid, token))
+                if prof is not None:
+                    prof.heap_push("@global")
         if finished:
             seeds: List[Link] = []
             for transfer in sorted(finished, key=lambda t: t.id):
@@ -1116,12 +1187,15 @@ class TransferEngine:
         so the front-heap minimum equals the minimum over *all* valid
         deadlines, exactly what the incremental mode arms at.
         """
+        prof = self.profile
         if self._touched:
             for name in sorted(self._touched):
                 shard = self._shards[name]
                 heap = shard.heap
                 while heap and self._tokens.get(heap[0][1]) != heap[0][2]:
                     heapq.heappop(heap)
+                    if prof is not None:
+                        prof.heap_invalidate(name)
                 front = heap[0][0] if heap else float("inf")
                 if front != shard.front:
                     shard.front = front
@@ -1130,10 +1204,14 @@ class TransferEngine:
                         heapq.heappush(
                             self._front_heap, (front, name, shard.pub)
                         )
+                        if prof is not None:
+                            prof.heap_push("@front")
             self._touched.clear()
         fronts = self._front_heap
         while fronts and self._shards[fronts[0][1]].pub != fronts[0][2]:
             heapq.heappop(fronts)
+            if prof is not None:
+                prof.heap_invalidate("@front")
         live = self._wake is not None and not self._wake.processed
         if not fronts:
             if live:
@@ -1160,16 +1238,21 @@ class TransferEngine:
             return  # stale wake-up: the front heap changed since
         now = self.sim.now
         fronts = self._front_heap
+        prof = self.profile
         finished: List[Transfer] = []
         while fronts:
             front, name, pub = fronts[0]
             shard = self._shards[name]
             if shard.pub != pub:
                 heapq.heappop(fronts)
+                if prof is not None:
+                    prof.heap_invalidate("@front")
                 continue
             if front > now:
                 break
             heapq.heappop(fronts)
+            if prof is not None:
+                prof.heap_pop("@front")
             self._drain_shard(shard, now, finished)
             self._touched.add(name)
         if finished:
@@ -1190,14 +1273,19 @@ class TransferEngine:
         minimum valid deadline), which is why undrained shards need no
         scan at all."""
         heap = shard.heap
+        prof = self.profile
         while heap:
             deadline, tid, token = heap[0]
             if self._tokens.get(tid) != token:
                 heapq.heappop(heap)
+                if prof is not None:
+                    prof.heap_invalidate(shard.name)
                 continue
             if deadline > now:
                 break
             heapq.heappop(heap)
+            if prof is not None:
+                prof.heap_pop(shard.name)
             transfer = self._active[tid]
             self._settle_one(transfer)
             if transfer.remaining_mb <= _EPS_MB:
@@ -1216,6 +1304,8 @@ class TransferEngine:
                 token = next(self._token_seq)
                 self._tokens[tid] = token
                 heapq.heappush(heap, (deadline, tid, token))
+                if prof is not None:
+                    prof.heap_push(shard.name)
 
     def _assert_reference_rates(self) -> None:
         """Compare live rates against the scalar full-fill oracle

@@ -29,6 +29,7 @@ from .presets import (
 )
 from .runner import (
     BENCH_SWEEP_JSON,
+    NONDETERMINISTIC_ROW_COLUMNS,
     SweepResult,
     SweepStats,
     cell_row,
@@ -39,6 +40,7 @@ from .spec import SweepCell, SweepSpec, parse_axis_flags, parse_seed_flag
 
 __all__ = [
     "BENCH_SWEEP_JSON",
+    "NONDETERMINISTIC_ROW_COLUMNS",
     "SweepCell",
     "SweepPreset",
     "SweepResult",

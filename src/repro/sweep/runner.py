@@ -36,11 +36,32 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..scenarios import ScenarioSpec, SimulationSession, canonical_json
+from ..scenarios import (
+    NONDETERMINISTIC_OUTCOME_KEYS,
+    ScenarioSpec,
+    SimulationSession,
+    canonical_json,
+)
 from .spec import SweepCell, SweepSpec
 
 #: Filename of the cross-PR perf trajectory record.
 BENCH_SWEEP_JSON = "BENCH_sweep.json"
+
+#: Row columns excluded from :meth:`SweepResult.aggregate_json`: the
+#: per-cell wall time plus the outcome's own wall-clock keys.  Columns
+#: flattened *out of* ``engine_profile`` (``engine_profile.*``) are
+#: excluded by prefix in :func:`_deterministic_row`.
+NONDETERMINISTIC_ROW_COLUMNS = ("wall_ms",) + NONDETERMINISTIC_OUTCOME_KEYS
+
+
+def _deterministic_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """One aggregate row minus its wall-clock-dependent columns."""
+    return {
+        key: value
+        for key, value in row.items()
+        if key not in NONDETERMINISTIC_ROW_COLUMNS
+        and not key.startswith("engine_profile.")
+    }
 
 
 def _flatten(prefix: str, value: Any, row: Dict[str, Any]) -> None:
@@ -52,17 +73,23 @@ def _flatten(prefix: str, value: Any, row: Dict[str, Any]) -> None:
         row[prefix] = value
 
 
-def cell_row(cell: SweepCell, outcome: Dict[str, Any]) -> Dict[str, Any]:
-    """One tidy aggregate row: identity columns + flat outcome."""
+def cell_row(
+    cell: SweepCell, outcome: Dict[str, Any], wall_ms: float = 0.0
+) -> Dict[str, Any]:
+    """One tidy aggregate row: identity columns + flat outcome +
+    per-cell wall time (excluded from the byte-identity surface —
+    cached cells report their *stored* execution time, so resumed rows
+    equal fresh rows)."""
     row = cell.row_id()
     for key, value in outcome.items():
         _flatten(key, value, row)
+    row["wall_ms"] = wall_ms
     return row
 
 
 def _execute_cell(
     payload: Tuple[str, Dict[str, Any], Optional[str]],
-) -> Tuple[str, Dict[str, Any]]:
+) -> Tuple[str, Dict[str, Any], float]:
     """Worker body: one cell, one fresh session, one outcome dict.
 
     Runs inside a pool process (or inline when ``workers == 1``).  The
@@ -74,15 +101,19 @@ def _execute_cell(
     if marker_dir is not None:
         (Path(marker_dir) / key).touch()
     spec = ScenarioSpec.from_dict(spec_dict)
+    started = time.perf_counter()
     outcome = SimulationSession(spec).run()
-    return key, outcome.to_dict()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    return key, outcome.to_dict(), wall_ms
 
 
 def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
-def _load_cached(cache_dir: Path, key: str) -> Optional[Dict[str, Any]]:
+def _load_cached(
+    cache_dir: Path, key: str
+) -> Optional[Tuple[Dict[str, Any], float]]:
     path = _cache_path(cache_dir, key)
     try:
         with open(path) as handle:
@@ -99,11 +130,12 @@ def _load_cached(cache_dir: Path, key: str) -> Optional[Dict[str, Any]]:
             f"sweep cache entry {path} holds key {document.get('key')!r}; "
             f"delete it to re-run the cell"
         )
-    return document["outcome"]
+    # Entries written before per-cell timing existed carry no wall_ms.
+    return document["outcome"], float(document.get("wall_ms", 0.0))
 
 def _store_cached(
     cache_dir: Path, key: str, spec_dict: Dict[str, Any],
-    outcome: Dict[str, Any],
+    outcome: Dict[str, Any], wall_ms: float,
 ) -> None:
     """Persist one completed cell atomically (write, then rename).
 
@@ -113,7 +145,10 @@ def _store_cached(
     """
     path = _cache_path(cache_dir, key)
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    document = {"key": key, "spec": spec_dict, "outcome": outcome}
+    document = {
+        "key": key, "spec": spec_dict, "outcome": outcome,
+        "wall_ms": wall_ms,
+    }
     with open(tmp, "w") as handle:
         json.dump(document, handle, indent=1)
     os.replace(tmp, path)
@@ -164,13 +199,16 @@ class SweepResult:
     stats: SweepStats = field(default_factory=SweepStats)
 
     def aggregate_json(self) -> str:
-        """Canonical JSON of the rows alone.
+        """Canonical JSON of the rows' deterministic columns.
 
         This is the determinism surface: serial and parallel runs —
         and cached re-runs — of the same sweep must produce the same
-        bytes here.  Stats (wall time, worker count) live outside it.
+        bytes here.  Stats (wall time, worker count) live outside it,
+        and the wall-clock row columns (``wall_ms``, ``wall_build_s``,
+        ``wall_run_s``, ``engine_profile.*``) are stripped — they stay
+        in :attr:`rows` and the CSV, but can never perturb identity.
         """
-        return canonical_json(self.rows)
+        return canonical_json([_deterministic_row(row) for row in self.rows])
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -225,7 +263,8 @@ def run_sweep(
         Path(marker_dir).mkdir(parents=True, exist_ok=True)
         marker_dir = str(marker_dir)
 
-    outcomes: Dict[str, Dict[str, Any]] = {}
+    # key -> (outcome dict, wall_ms of the run that produced it).
+    outcomes: Dict[str, Tuple[Dict[str, Any], float]] = {}
     pending: List[SweepCell] = []
     claimed: set = set()
     for cell in cells:
@@ -249,21 +288,23 @@ def run_sweep(
         with multiprocessing.Pool(processes=n_workers) as pool:
             # Unordered: each cell is cached the moment it completes,
             # so a kill at any point loses at most the in-flight cells.
-            for key, outcome in pool.imap_unordered(
+            for key, outcome, wall_ms in pool.imap_unordered(
                 _execute_cell, payloads, chunksize=chunksize
             ):
-                outcomes[key] = outcome
+                outcomes[key] = (outcome, wall_ms)
                 if cache is not None:
-                    _store_cached(cache, key, spec_dicts[key], outcome)
+                    _store_cached(
+                        cache, key, spec_dicts[key], outcome, wall_ms
+                    )
     else:
         for payload in payloads:
-            key, outcome = _execute_cell(payload)
-            outcomes[key] = outcome
+            key, outcome, wall_ms = _execute_cell(payload)
+            outcomes[key] = (outcome, wall_ms)
             if cache is not None:
-                _store_cached(cache, key, payload[1], outcome)
+                _store_cached(cache, key, payload[1], outcome, wall_ms)
 
     result = SweepResult(sweep=sweep)
-    result.rows = [cell_row(cell, outcomes[cell.key]) for cell in cells]
+    result.rows = [cell_row(cell, *outcomes[cell.key]) for cell in cells]
     result.stats = SweepStats(
         cells=len(cells),
         executed=len(payloads),

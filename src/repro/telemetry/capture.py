@@ -1,0 +1,104 @@
+"""Process-wide telemetry capture for multi-session runs.
+
+The experiment entry points (``repro p2p`` …) build their
+:class:`~repro.scenarios.session.SimulationSession` objects internally
+from default specs, so the CLI's ``--trace`` / ``--metrics-out`` /
+``--profile`` flags cannot reach them through ``TelemetrySpec``.
+:class:`TelemetryCapture` is the side channel: the CLI activates one
+(``with TelemetryCapture(trace=True):``), every session assembled while
+it is active checks :func:`active_capture`, enables the requested
+recorders, and registers them back under a stable per-session label
+(``s0``, ``s1``, …).  After the run the capture exports everything
+merged — one Chrome trace with session-prefixed process names, one
+JSONL stream with a ``session`` field, one CSV with a ``session``
+column.
+
+A capture never *disables* anything: a session whose spec already asks
+for telemetry keeps it, and captures only add.  Captures are
+observation-only like the rest of the package, so running under one
+changes no outcome (pinned by the differential tests).  Nesting is
+rejected — two active captures would silently split the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import MetricsSampler, merged_csv
+from .profile import EngineProfile
+from .recorder import TraceRecorder, chrome_trace, merged_jsonl
+
+_ACTIVE: Optional["TelemetryCapture"] = None
+
+
+def active_capture() -> Optional["TelemetryCapture"]:
+    """The capture currently in scope, if any (sessions check this)."""
+    return _ACTIVE
+
+
+class TelemetryCapture:
+    """One ``with``-scoped collection window over session telemetry."""
+
+    def __init__(
+        self,
+        trace: bool = False,
+        metrics_period_s: Optional[float] = None,
+        profile: bool = False,
+    ) -> None:
+        if metrics_period_s is not None and metrics_period_s <= 0:
+            raise ValueError(
+                f"metrics_period_s must be > 0, got {metrics_period_s}"
+            )
+        self.trace = trace
+        self.metrics_period_s = metrics_period_s
+        self.profile = profile
+        self.traces: List[TraceRecorder] = []
+        self.samplers: List[MetricsSampler] = []
+        self.profiles: List[Tuple[str, EngineProfile]] = []
+        self._labels = 0
+
+    # -- activation -----------------------------------------------------
+    def __enter__(self) -> "TelemetryCapture":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a TelemetryCapture is already active")
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+
+    # -- session registration ------------------------------------------
+    def next_label(self) -> str:
+        label = f"s{self._labels}"
+        self._labels += 1
+        return label
+
+    def adopt(
+        self,
+        trace: Optional[TraceRecorder],
+        sampler: Optional[MetricsSampler],
+        profile: Optional[EngineProfile],
+        label: str,
+    ) -> None:
+        """Register one session's live recorders under its label."""
+        if trace is not None:
+            self.traces.append(trace)
+        if sampler is not None:
+            self.samplers.append(sampler)
+        if profile is not None:
+            self.profiles.append((label, profile))
+
+    # -- merged exports -------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace(self.traces)
+
+    def jsonl(self) -> str:
+        return merged_jsonl(self.traces)
+
+    def metrics_csv(self) -> str:
+        return merged_csv(self.samplers)
+
+    def profile_summaries(self) -> Dict[str, Dict[str, Any]]:
+        return {label: prof.summary() for label, prof in self.profiles}

@@ -81,6 +81,19 @@ class TestMonitor:
         assert len(monitor.events_of("pull-start")) == 1
         assert "pull-start" in monitor.render()
 
+    def test_events_of_preserves_log_order(self):
+        # The per-kind index must return exactly the filtered view of
+        # the append-ordered log — same events, same order.
+        monitor = Monitor()
+        for step in range(50):
+            kind = ("pull-start", "pull-done", "pod-succeeded")[step % 3]
+            monitor.log(float(step), kind, f"pod-{step % 7}", str(step))
+        for kind in ("pull-start", "pull-done", "pod-succeeded"):
+            assert monitor.events_of(kind) == [
+                event for event in monitor.events if event.kind == kind
+            ]
+        assert monitor.events_of("never-logged") == []
+
 
 class TestCluster:
     def test_duplicate_node_rejected(self, testbed):

@@ -36,7 +36,9 @@ def _small_spec(**kwargs) -> ScenarioSpec:
 
 
 def _outcome_key(outcome) -> dict:
-    data = outcome.to_dict()
+    # Wall-clock (and profile) fields differ between any two runs;
+    # equivalence is over the deterministic surface only.
+    data = scenarios.deterministic_outcome_dict(outcome.to_dict())
     data.pop("replicator")  # live-object summary, compared separately
     return data
 
@@ -202,6 +204,17 @@ class TestModeOutcomeDict:
         assert data["origin_bytes"] == outcome.origin_bytes
         assert data["hit_ratio"] == outcome.hit_ratio
         assert data["replicator"]["converged"] in (True, False)
+
+    def test_outcome_reports_wall_clock_split(self):
+        session = SimulationSession(_small_spec())
+        outcome = session.run()
+        data = outcome.to_dict()
+        # Assembly and run are timed separately: both phases take
+        # measurably nonzero wall time even on a tiny spec.
+        assert data["wall_build_s"] > 0.0
+        assert data["wall_run_s"] > 0.0
+        # Telemetry defaults off, so no profile rides along.
+        assert data["engine_profile"] is None
 
     def test_peerless_outcome_reports_null_replicator(self):
         outcome = SimulationSession(_small_spec(mode="hybrid")).run()

@@ -21,6 +21,7 @@ from repro.scenarios import (
     DiscoverySpec,
     ReplicationSpec,
     ScenarioSpec,
+    TelemetrySpec,
     TopologySpec,
     TransferSpec,
     WorkloadSpec,
@@ -468,6 +469,61 @@ class TestCacheKey:
         assert ScenarioSpec(seed=7).cache_key() == replace(
             ScenarioSpec(), seed=7
         ).cache_key()
+
+
+class TestTelemetrySection:
+    def test_default_section_is_omitted_from_to_dict(self):
+        # Every pre-telemetry spec dict — and therefore every cache key
+        # and sweep-cell content address — must survive bit-for-bit.
+        assert "telemetry" not in ScenarioSpec().to_dict()
+
+    def test_default_section_preserves_historical_cache_key(self):
+        spec = ScenarioSpec(seed=7)
+        historical = dict(spec.to_dict())
+        assert spec.cache_key() == canonical_hash(historical)
+
+    def test_non_default_section_round_trips(self):
+        spec = ScenarioSpec(
+            telemetry=TelemetrySpec(
+                trace=True, metrics_period_s=30.0, profile=True
+            )
+        )
+        data = spec.to_dict()
+        assert data["telemetry"] == {
+            "trace": True, "metrics_period_s": 30.0, "profile": True,
+        }
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+    def test_non_default_section_perturbs_the_key(self):
+        base = ScenarioSpec()
+        keys = {base.cache_key()}
+        for telemetry in (
+            TelemetrySpec(trace=True),
+            TelemetrySpec(metrics_period_s=60.0),
+            TelemetrySpec(profile=True),
+        ):
+            key = replace(base, telemetry=telemetry).cache_key()
+            assert key not in keys
+            keys.add(key)
+
+    def test_dotted_overrides_reach_telemetry(self):
+        spec = with_overrides(
+            ScenarioSpec(), {"telemetry.trace": True}
+        )
+        assert spec.telemetry.trace is True
+        assert spec.telemetry.enabled
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetrySpec(metrics_period_s=0.0)
+        with pytest.raises(ValueError):
+            TelemetrySpec(metrics_period_s=-1.0)
+
+    def test_enabled_property(self):
+        assert not TelemetrySpec().enabled
+        assert TelemetrySpec(trace=True).enabled
+        assert TelemetrySpec(metrics_period_s=5.0).enabled
+        assert TelemetrySpec(profile=True).enabled
 
 
 class TestPresets:

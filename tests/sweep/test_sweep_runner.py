@@ -7,6 +7,7 @@ import pytest
 
 from repro.scenarios import ScenarioSpec, with_overrides
 from repro.sweep import (
+    NONDETERMINISTIC_ROW_COLUMNS,
     SweepSpec,
     cell_row,
     run_sweep,
@@ -195,6 +196,26 @@ class TestAggregate:
         assert row["pulls"] == 3
         assert row["bytes.hub"] == 1
         assert row["bytes.edge"] == 2
+
+    def test_rows_carry_wall_ms_outside_identity_surface(self, tmp_path):
+        result = run_sweep(small_sweep(), cache_dir=tmp_path)
+        # Every executed row carries its wall-clock cost...
+        assert all(row["wall_ms"] > 0 for row in result.rows)
+        # ...but no nondeterministic column reaches the byte-identity
+        # surface the determinism and resume contracts compare.
+        for row in json.loads(result.aggregate_json()):
+            overlap = set(row) & set(NONDETERMINISTIC_ROW_COLUMNS)
+            assert not overlap, f"nondeterministic columns leaked: {overlap}"
+            assert not any(key.startswith("engine_profile.") for key in row)
+
+    def test_resumed_rows_carry_cached_wall_ms(self, tmp_path):
+        sweep = small_sweep()
+        first = run_sweep(sweep, cache_dir=tmp_path)
+        resumed = run_sweep(sweep, cache_dir=tmp_path)
+        assert resumed.stats.executed == 0
+        # Cached documents store the original wall_ms, so a resumed
+        # row equals its freshly-executed counterpart column-for-column.
+        assert resumed.rows == first.rows
 
     def test_write_bench_record_merges(self, tmp_path):
         path = tmp_path / "BENCH_sweep.json"

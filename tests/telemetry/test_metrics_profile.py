@@ -1,0 +1,123 @@
+"""Unit behaviour of the metrics sampler, engine profile, and capture."""
+
+import csv
+import io
+
+import pytest
+
+from repro.telemetry import (
+    ALL_SCOPE,
+    METRICS_SCHEMA,
+    EngineProfile,
+    FRONT_HEAP,
+    GLOBAL_HEAP,
+    MetricsSampler,
+    TelemetryCapture,
+    TraceRecorder,
+    active_capture,
+    closure_bucket,
+    merged_csv,
+)
+
+
+class TestMetricsSampler:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(0.0)
+        with pytest.raises(ValueError):
+            MetricsSampler(-5.0)
+
+    def test_rows_follow_schema(self):
+        sampler = MetricsSampler(10.0)
+        sampler.record(0.0, "inflight_transfers", ALL_SCOPE, 3)
+        (row,) = sampler.rows()
+        assert tuple(row) == METRICS_SCHEMA
+        assert row["value"] == 3.0
+
+    def test_cache_probe(self):
+        class Cache:
+            def __init__(self, used, cap):
+                self.used_bytes = used
+                self.capacity_bytes = cap
+
+        sampler = MetricsSampler(10.0)
+        sampler.sample(5.0, caches={"a": Cache(10, 100), "b": Cache(30, 100)})
+        assert sampler.series("cache_used_bytes") == [(5.0, 40.0)]
+        assert sampler.series("cache_occupancy") == [(5.0, 0.2)]
+
+    def test_csv_header_is_schema(self):
+        sampler = MetricsSampler(10.0)
+        sampler.record(0.0, "inflight_transfers", ALL_SCOPE, 1)
+        rows = list(csv.reader(io.StringIO(sampler.csv_text())))
+        assert rows[0] == list(METRICS_SCHEMA)
+        assert len(rows) == 2
+
+    def test_merged_csv_adds_session_column(self):
+        a, b = MetricsSampler(1.0, label="s0"), MetricsSampler(1.0, label="s1")
+        a.record(0.0, "m", ALL_SCOPE, 1)
+        b.record(0.0, "m", ALL_SCOPE, 2)
+        rows = list(csv.reader(io.StringIO(merged_csv([a, b]))))
+        assert rows[0] == ["session"] + list(METRICS_SCHEMA)
+        assert [row[0] for row in rows[1:]] == ["s0", "s1"]
+
+
+class TestEngineProfile:
+    def test_closure_bucket_powers_of_two(self):
+        assert closure_bucket(0) == "0"
+        assert closure_bucket(1) == "1"
+        assert closure_bucket(3) == "4"
+        assert closure_bucket(4) == "4"
+        assert closure_bucket(5) == "8"
+        assert closure_bucket(1000) == "1024"
+
+    def test_recompute_accounting(self):
+        prof = EngineProfile()
+        prof.note_recompute(100, 3)
+        prof.note_recompute(300, 5)
+        summary = prof.summary()
+        assert summary["recomputes"] == 2
+        assert summary["recompute_ns_total"] == 400
+        assert summary["recompute_ns_max"] == 300
+        assert summary["transfers_rerated"] == 8
+        assert summary["closure_size_hist"] == {"4": 1, "8": 1}
+
+    def test_heap_counters_per_shard(self):
+        prof = EngineProfile()
+        prof.heap_push(GLOBAL_HEAP)
+        prof.heap_push("region-1")
+        prof.heap_pop("region-1")
+        prof.heap_invalidate(FRONT_HEAP)
+        heaps = prof.summary()["heaps"]
+        assert heaps[GLOBAL_HEAP] == {
+            "pushes": 1, "pops": 0, "invalidations": 0,
+        }
+        assert heaps["region-1"]["pops"] == 1
+        assert heaps[FRONT_HEAP]["invalidations"] == 1
+
+
+class TestTelemetryCapture:
+    def test_activation_scope(self):
+        assert active_capture() is None
+        with TelemetryCapture(trace=True) as capture:
+            assert active_capture() is capture
+        assert active_capture() is None
+
+    def test_nesting_rejected(self):
+        with TelemetryCapture(trace=True):
+            with pytest.raises(RuntimeError):
+                TelemetryCapture(trace=True).__enter__()
+
+    def test_labels_and_adoption(self):
+        with TelemetryCapture(trace=True, profile=True) as capture:
+            assert capture.next_label() == "s0"
+            assert capture.next_label() == "s1"
+            trace = TraceRecorder(label="s0")
+            prof = EngineProfile()
+            capture.adopt(trace, None, prof, "s0")
+        assert capture.traces == [trace]
+        assert capture.samplers == []
+        assert capture.profile_summaries() == {"s0": prof.summary()}
+
+    def test_rejects_nonpositive_metrics_period(self):
+        with pytest.raises(ValueError):
+            TelemetryCapture(metrics_period_s=0.0)
