@@ -1,0 +1,49 @@
+"""Static determinism & purity analysis for the repro package.
+
+``repro lint`` (see :mod:`repro.analysis.cli`) walks ``src/repro``
+before the tests do and enforces the repo's central invariant —
+default-path and differential outcomes stay bit-for-bit identical —
+*statically*, catching the hazard classes the dynamic differential
+tests only catch after they ship.  The rule catalogue, suppression
+syntax, and extension guide live in ``src/repro/analysis/README.md``.
+
+Public surface:
+
+* :func:`lint_paths` / :class:`LintResult` — the engine;
+* :class:`Finding` / :class:`LintConfig` — datatypes;
+* :func:`all_rules` / :func:`rule_names` / :func:`rule` — the registry
+  (add a rule by decorating a checker in :mod:`repro.analysis.rules`);
+* :class:`UnknownRuleError` — bad rule names (CLI exit 2).
+"""
+
+from .findings import DEFAULT_CONFIG, Finding, LintConfig
+from .registry import (
+    Rule,
+    UnknownRuleError,
+    all_rules,
+    get_rule,
+    rule,
+    rule_names,
+)
+from .runner import (
+    UNUSED_SUPPRESSION,
+    LintResult,
+    LintUsageError,
+    lint_paths,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "LintUsageError",
+    "Rule",
+    "UNUSED_SUPPRESSION",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "rule",
+    "rule_names",
+]

@@ -1,0 +1,138 @@
+"""Finding and configuration datatypes of the ``repro lint`` pass.
+
+A :class:`Finding` is one rule violation at one source location; the
+whole tool's output is a sorted list of them (stable ordering: path,
+line, column, rule — so text and ``--json`` output never depend on
+rule execution order or filesystem walk order).
+
+:class:`LintConfig` is the small allowlist object the rules consult.
+Paths are matched by *posix suffix or substring* against the linted
+file's path, so the defaults (expressed relative to ``src/repro``)
+work no matter what directory the tool was pointed at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where, which rule, and why it matters."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: rule: message`` (clickable in most shells)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+def path_matches(path: str, patterns: Tuple[str, ...]) -> bool:
+    """Whether a posix path suffix/substring pattern covers ``path``.
+
+    ``"telemetry/profile.py"`` matches ``src/repro/telemetry/profile.py``
+    however the tool was invoked; ``"registry/"`` matches every module
+    of the registry package.  An empty pattern matches nothing (so an
+    empty allowlist is inert, not universal).
+    """
+    normalized = path.replace("\\", "/")
+    for pattern in patterns:
+        if not pattern:
+            continue
+        if normalized.endswith(pattern) or pattern in normalized:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Allowlists and scopes the rules consult (see each rule's doc).
+
+    All fields are suffix/substring path patterns in posix form (see
+    :func:`path_matches`).  The defaults encode the repo's own
+    discipline; tests override them to point rules at fixture files.
+    """
+
+    #: ``wall-clock-in-sim``: files allowed to read the host clock —
+    #: the telemetry profiler, the sweep runner's wall accounting, and
+    #: the session facade's wall_build_s/wall_run_s fields.  Everything
+    #: else must take time from the simulation clock.
+    wall_clock_allow: Tuple[str, ...] = (
+        "telemetry/profile.py",
+        "sweep/runner.py",
+        "scenarios/session.py",
+    )
+
+    #: ``unordered-set-iteration``: the modules where set-iteration
+    #: order can leak into simulation state (tie-breaks, event order,
+    #: registry choices).  Analysis/CLI/presentation modules iterate
+    #: sets harmlessly and stay out of scope.
+    ordered_iteration_scope: Tuple[str, ...] = (
+        "repro/sim/",
+        "repro/registry/",
+        "repro/scenarios/",
+        "repro/sweep/",
+    )
+
+    #: ``naked-dict-order-export``: files whose ``json.dump(s)`` calls
+    #: are human-facing presentation output (key order deliberate,
+    #: every consumer parses) rather than identity surfaces.
+    export_allow: Tuple[str, ...] = ("repro/cli.py",)
+
+    #: ``telemetry-purity``: the observation-only package (may not
+    #: import or mutate the rest of the simulator).
+    telemetry_scope: Tuple[str, ...] = ("repro/telemetry/",)
+
+    #: ``telemetry-purity``: method names that count as telemetry
+    #: *emission* on a ``.trace`` / ``.profile`` slot and must sit
+    #: behind an ``is not None`` guard on the hot path.
+    emission_methods: Tuple[str, ...] = (
+        "record",
+        "note_recompute",
+        "heap_push",
+        "heap_pop",
+        "heap_invalidate",
+        "sample",
+    )
+
+    #: ``telemetry-purity``: engine/registry APIs that mutate sim state
+    #: and are therefore forbidden inside the telemetry package.
+    mutating_methods: Tuple[str, ...] = (
+        "start_transfer",
+        "cancel_transfer",
+        "reserve",
+        "commit",
+        "evict",
+        "pull",
+        "pull_process",
+        "register_cache",
+        "unregister_cache",
+        "schedule",
+        "run",
+    )
+
+    #: Extra per-rule path allowlists: rule name -> path patterns.  A
+    #: matching file produces no findings for that rule (config-level
+    #: escape hatch; prefer inline suppressions for single sites).
+    rule_allow: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def allows(self, rule: str, path: str) -> bool:
+        return path_matches(path, self.rule_allow.get(rule, ()))
+
+
+#: The configuration ``repro lint`` runs with.
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,159 @@
+"""Walk files, run rules, apply suppressions, order the findings.
+
+:func:`lint_paths` is the whole engine: expand the path arguments to
+``.py`` files (sorted, so output order never depends on filesystem walk
+order), parse each once, run the selected rules, filter through the
+module's inline suppressions and the config's allowlists, and return a
+:class:`LintResult` whose findings are globally sorted by (path, line,
+col, rule).
+
+When the *full* rule set runs, suppression comments that silenced
+nothing are themselves reported (rule id ``unused-suppression``) — a
+stale suppression hides the next real finding at that site.  Subset
+runs (``--rule``) skip that check: a suppression for an unselected rule
+is not stale, it just wasn't exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .astutil import ModuleContext
+from .findings import DEFAULT_CONFIG, Finding, LintConfig
+from .registry import Rule, resolve_rules
+from .suppressions import SuppressionIndex
+
+#: Pseudo-rule id of stale-suppression findings (not registered: it has
+#: no AST body, and suppressing the suppression checker is a paradox).
+UNUSED_SUPPRESSION = "unused-suppression"
+
+
+class LintUsageError(ValueError):
+    """A problem with the invocation itself (exit 2): bad path, file
+    that does not parse, unknown rule name."""
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, in stable order."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+    #: all parsed suppression entries as (path, line, rule)
+    suppressions: List[Tuple[str, int, str]] = field(default_factory=list)
+    #: the subset of suppressions that silenced at least one finding
+    suppressions_used: List[Tuple[str, int, str]] = field(
+        default_factory=list
+    )
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``--json`` document (schema pinned by the CI smoke job)."""
+        return {
+            "version": 1,
+            "files": len(self.files),
+            "rules": list(self.rules_run),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressions": {
+                "total": len(self.suppressions),
+                "used": len(self.suppressions_used),
+                "entries": [
+                    {"path": path, "line": line, "rule": rule_name}
+                    for path, line, rule_name in self.suppressions
+                ],
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} in {len(self.files)} files "
+            f"({len(self.suppressions)} suppressions, "
+            f"{len(self.suppressions_used)} used)"
+        )
+        return "\n".join(lines)
+
+
+def expand_paths(paths: Sequence[str]) -> List[Path]:
+    """Path arguments -> sorted unique ``.py`` files.
+
+    Directories are walked recursively; non-Python files passed
+    explicitly are a usage error (pointing the linter at a JSON file is
+    a typo, not an empty result).
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(path.rglob("*.py"))
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise LintUsageError(f"not a Python file: {path}")
+            files.append(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return sorted(set(files), key=lambda p: p.as_posix())
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_names: Tuple[str, ...] = (),
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint ``paths`` with the named rules (all when empty).
+
+    Raises :class:`LintUsageError` for bad paths / unparseable files,
+    and :class:`~repro.analysis.registry.UnknownRuleError` for unknown
+    rule names in ``rule_names`` or suppression comments — the CLI maps
+    both to exit code 2.
+    """
+    config = config if config is not None else DEFAULT_CONFIG
+    rules: List[Rule] = resolve_rules(tuple(rule_names))
+    full_run = not rule_names
+    result = LintResult(rules_run=[rule.name for rule in rules])
+    for path in expand_paths(paths):
+        posix = path.as_posix()
+        source = path.read_text()
+        try:
+            ctx = ModuleContext.parse(posix, source, config)
+        except SyntaxError as error:
+            raise LintUsageError(
+                f"{posix}: cannot lint a file that does not parse "
+                f"(line {error.lineno}: {error.msg})"
+            ) from error
+        index = SuppressionIndex.parse(posix, source)
+        result.files.append(posix)
+        for rule in rules:
+            if config.allows(rule.name, posix):
+                continue
+            for finding in rule.fn(ctx):
+                if index.suppresses(finding.line, finding.rule):
+                    continue
+                result.findings.append(finding)
+        result.suppressions.extend(
+            (entry.path, entry.line, entry.rule) for entry in index.entries
+        )
+        result.suppressions_used.extend(
+            (posix, line, rule_name) for line, rule_name in sorted(index.used)
+        )
+        if full_run:
+            for entry in index.unused():
+                result.findings.append(Finding(
+                    path=entry.path,
+                    line=entry.line,
+                    col=0,
+                    rule=UNUSED_SUPPRESSION,
+                    message=(
+                        f"suppression of {entry.rule!r} silenced nothing; "
+                        f"remove it before it hides the next real finding"
+                    ),
+                ))
+    result.findings.sort()
+    return result

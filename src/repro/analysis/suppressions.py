@@ -1,0 +1,105 @@
+"""Inline ``# repro-lint: disable=<rule>[,<rule>]`` suppressions.
+
+A finding is suppressed when the physical line it is reported on (or
+the line directly above, when that line holds nothing but the comment)
+carries a disable comment naming its rule.  Suppressions are **metered**
+— every parsed comment is returned whether or not it silenced anything,
+so CI can fail when the repo's suppression count grows past the
+checked-in baseline (``.repro-lint-baseline.json``), and unused
+suppressions are themselves reported as findings (rot is visible).
+
+An unknown rule name inside a disable comment is a *usage error* (exit
+2 with a did-you-mean suggestion), exactly like an unknown ``--rule``:
+a typo'd suppression must never silently suppress nothing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..util import did_you_mean
+from .registry import UnknownRuleError, rule_names
+
+#: The comment grammar: a ``repro-lint: disable=`` marker followed by a
+#: comma-separated rule-name list (e.g. two names joined by a comma).
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed disable comment entry (one rule name on one line)."""
+
+    path: str
+    line: int
+    rule: str
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one module, queryable by (line, rule)."""
+
+    path: str
+    entries: List[Suppression] = field(default_factory=list)
+    #: entries that actually silenced at least one finding
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+    #: lines that hold only a comment (suppress the line below too)
+    _comment_only: Set[int] = field(default_factory=set)
+    _by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "SuppressionIndex":
+        """Scan source lines for disable comments; validate rule names."""
+        index = cls(path=path)
+        known = rule_names()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DISABLE_RE.search(text)
+            if match is None:
+                continue
+            if text.lstrip().startswith("#"):
+                index._comment_only.add(lineno)
+            for raw in match.group("rules").split(","):
+                name = raw.strip()
+                if not name:
+                    continue
+                if name not in known:
+                    raise UnknownRuleError(
+                        f"{path}:{lineno}: unknown rule {name!r} in "
+                        f"repro-lint disable comment"
+                        f"{did_you_mean(name, known)}"
+                    )
+                index.entries.append(
+                    Suppression(path=path, line=lineno, rule=name)
+                )
+                index._by_line.setdefault(lineno, set()).add(name)
+        return index
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is silenced.
+
+        Matches a disable comment on the finding's own line, or on the
+        directly preceding line when that line is comment-only (the
+        two shapes black/long call chains force).  A match is recorded
+        as *used*.
+        """
+        if rule in self._by_line.get(line, ()):
+            self.used.add((line, rule))
+            return True
+        above = line - 1
+        if above in self._comment_only and rule in self._by_line.get(
+            above, ()
+        ):
+            self.used.add((above, rule))
+            return True
+        return False
+
+    def unused(self) -> List[Suppression]:
+        """Entries that silenced nothing (stale suppressions)."""
+        return [
+            entry
+            for entry in self.entries
+            if (entry.line, entry.rule) not in self.used
+        ]

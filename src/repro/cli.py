@@ -27,6 +27,10 @@ Usage::
         --seeds 1,2 --workers 4                  # an ad-hoc grid
     python -m repro.cli sweep my-grid.json       # a SweepSpec document
 
+    python -m repro.cli lint                     # determinism lint
+    python -m repro.cli lint src/repro --json    # machine-readable
+    python -m repro.cli lint --list              # rule catalogue
+
 The swarm experiments accept ``--seed`` to rerun under a different
 random workload/churn realisation, and every experiment (plus the
 ``scenario`` and ``sweep`` subcommands) accepts ``--json`` to print
@@ -425,16 +429,28 @@ def _run_sweep_command(args) -> int:
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint subcommand owns its own flag grammar (multiple path
+        # arguments, repeatable --rule), so it dispatches before the
+        # experiment parser; see src/repro/analysis/cli.py.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the DEEP paper.",
     )
     parser.add_argument(
         "experiment",
-        choices=all_targets() + ["all", "calibration", "scenario", "sweep"],
+        choices=all_targets() + [
+            "all", "calibration", "scenario", "sweep", "lint",
+        ],
         help=(
             "which artefact to regenerate (or 'scenario' for one preset, "
-            "'sweep' for an experiment matrix)"
+            "'sweep' for an experiment matrix, 'lint' for the static "
+            "determinism analyzer)"
         ),
     )
     parser.add_argument(

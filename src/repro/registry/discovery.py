@@ -476,7 +476,7 @@ class GossipDiscovery(DiscoveryBackend):
             if _newer(record, records.get(holder)):
                 records[holder] = record
                 touched.add(digest)
-        for digest in touched:
+        for digest in sorted(touched):
             self._enforce_cap(view[digest])
 
     def _enforce_cap(self, records: Dict[str, ViewRecord]) -> None:

@@ -168,9 +168,9 @@ class PeerIndex:
         for device, cache in self._caches.items():
             cached = {d for d, _ in cache.entries()}
             indexed = {d for d, h in self._holders.items() if device in h}
-            for digest in cached - indexed:
+            for digest in sorted(cached - indexed):
                 problems.append(f"{device}: {digest} cached but not indexed")
-            for digest in indexed - cached:
+            for digest in sorted(indexed - cached):
                 problems.append(f"{device}: {digest} indexed but not cached")
         return problems
 
@@ -1313,7 +1313,12 @@ class AdaptiveReplicator:
         """
         if self.churn is None:
             return float(len(holders))
-        return sum(self.churn.availability(holder) for holder in holders)
+        # Float addition is not associative: summing in set order would
+        # make the replica weight — and every threshold decision built
+        # on it — vary with the hash seed.
+        return sum(
+            self.churn.availability(holder) for holder in sorted(holders)
+        )
 
     def _verified_source(
         self, holders: Set[str], target: str, digest: str

@@ -32,13 +32,13 @@ benchmarks, and the CLI's ``--set dotted.path=value`` overrides (see
 
 from __future__ import annotations
 
-import difflib
 import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..registry.chunks import DEFAULT_CHUNK_SIZE_BYTES
+from ..util import did_you_mean
 from ..sim.churn import ChurnConfig
 from ..sim.rng import DEFAULT_SEED
 from ..sim.transfers import TransferModel
@@ -163,9 +163,9 @@ class WorkloadSpec:
                     f"wave; set pulls_per_device=1 "
                     f"(got {self.pulls_per_device})"
                 )
-            if self.stagger_s is None:
-                object.__setattr__(self, "stagger_s", 1.0)
-            _require_positive("stagger_s", self.stagger_s)
+            stagger_s = self.stagger_s if self.stagger_s is not None else 1.0
+            object.__setattr__(self, "stagger_s", stagger_s)
+            _require_positive("stagger_s", stagger_s)
         elif self.stagger_s is not None:
             raise ValueError(
                 "stagger_s only applies to the cold-waves workload "
@@ -302,29 +302,46 @@ class DiscoverySpec:
             for name, default in _GOSSIP_KNOB_DEFAULTS.items():
                 if getattr(self, name) is None:
                     object.__setattr__(self, name, default)
-            if self.gossip_fanout < 1:
+            # The defaulting loop above runs through object.__setattr__,
+            # which no type-checker can see through — re-read the knobs
+            # into locals and narrow them once.
+            fanout = self.gossip_fanout
+            period_s = self.gossip_period_s
+            view_cap = self.gossip_view_cap
+            latency_s = self.gossip_latency_s
+            exchange = self.gossip_exchange
+            loss_rate = self.gossip_loss_rate
+            assert (
+                fanout is not None
+                and period_s is not None
+                and view_cap is not None
+                and latency_s is not None
+                and exchange is not None
+                and loss_rate is not None
+            )
+            if fanout < 1:
                 raise ValueError(
-                    f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
+                    f"gossip_fanout must be >= 1, got {fanout}"
                 )
-            _require_positive("gossip_period_s", self.gossip_period_s)
-            if self.gossip_view_cap < 1:
+            _require_positive("gossip_period_s", period_s)
+            if view_cap < 1:
                 raise ValueError(
-                    f"gossip_view_cap must be >= 1, got {self.gossip_view_cap}"
+                    f"gossip_view_cap must be >= 1, got {view_cap}"
                 )
-            if self.gossip_latency_s < 0:
+            if latency_s < 0:
                 raise ValueError(
                     f"gossip_latency_s must be >= 0, got "
-                    f"{self.gossip_latency_s}"
+                    f"{latency_s}"
                 )
-            if self.gossip_exchange not in GOSSIP_EXCHANGES:
+            if exchange not in GOSSIP_EXCHANGES:
                 raise ValueError(
-                    f"unknown gossip_exchange {self.gossip_exchange!r}; "
+                    f"unknown gossip_exchange {exchange!r}; "
                     f"expected one of {GOSSIP_EXCHANGES}"
                 )
-            if not 0.0 <= self.gossip_loss_rate < 1.0:
+            if not 0.0 <= loss_rate < 1.0:
                 raise ValueError(
                     f"gossip_loss_rate must be in [0, 1), got "
-                    f"{self.gossip_loss_rate}"
+                    f"{loss_rate}"
                 )
         else:
             set_knobs = [
@@ -624,7 +641,7 @@ def canonical_hash(data: Any) -> str:
 
 
 def _section_to_dict(section: Any) -> Dict[str, Any]:
-    data = {}
+    data: Dict[str, Any] = {}
     for f in fields(section):
         value = getattr(section, f.name)
         data[f.name] = value.value if isinstance(value, TransferModel) else value
@@ -674,10 +691,9 @@ def _all_override_paths() -> List[str]:
     return paths
 
 
-def _nearest(path: str, candidates: List[str]) -> str:
-    """`` (did you mean ...?)`` for the closest valid path, or ``""``."""
-    matches = difflib.get_close_matches(path, candidates, n=1, cutoff=0.4)
-    return f" (did you mean {matches[0]!r}?)" if matches else ""
+#: Nearest-match suggestion suffix (shared with the lint CLI's unknown
+#: rule-name diagnostics — see :mod:`repro.util`).
+_nearest = did_you_mean
 
 
 def with_overrides(

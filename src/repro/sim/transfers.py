@@ -958,10 +958,13 @@ class TransferEngine:
         if not self._active:
             return
         if self.profile is not None:
-            t0 = perf_counter_ns()
+            # Observation only: wall time feeds the profiler, never the
+            # simulation clock or any outcome.
+            t0 = perf_counter_ns()  # repro-lint: disable=wall-clock-in-sim
             self._fill(self._active)
             self.profile.note_recompute(
-                perf_counter_ns() - t0, len(self._active)
+                perf_counter_ns() - t0,  # repro-lint: disable=wall-clock-in-sim
+                len(self._active),
             )
         else:
             self._fill(self._active)
@@ -1009,7 +1012,8 @@ class TransferEngine:
         every-event-scans-everything cost wall.
         """
         self.recomputes += 1
-        t0 = perf_counter_ns() if self.profile is not None else 0
+        # Observation only: feeds the profiler, never an outcome.
+        t0 = perf_counter_ns() if self.profile is not None else 0  # repro-lint: disable=wall-clock-in-sim
         seen: set = set()
         stack: List[Link] = []
         for link in seeds:
@@ -1051,6 +1055,7 @@ class TransferEngine:
             for transfer in closure.values():
                 self._push_deadline(transfer)
         if self.profile is not None:
+            # repro-lint: disable=wall-clock-in-sim
             self.profile.note_recompute(perf_counter_ns() - t0, len(closure))
         if self.self_check:
             self._assert_reference_rates()
@@ -1316,7 +1321,7 @@ class TransferEngine:
         if actual != expected:
             diff = {
                 tid: (actual.get(tid), expected.get(tid))
-                for tid in set(expected) | set(actual)
+                for tid in sorted(set(expected) | set(actual))
                 if actual.get(tid) != expected.get(tid)
             }
             raise AssertionError(

@@ -150,7 +150,7 @@ def _store_cached(
         "wall_ms": wall_ms,
     }
     with open(tmp, "w") as handle:
-        json.dump(document, handle, indent=1)
+        json.dump(document, handle, indent=1, sort_keys=True)
     os.replace(tmp, path)
 
 

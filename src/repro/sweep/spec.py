@@ -189,7 +189,10 @@ class SweepSpec:
 
     # -- expansion -------------------------------------------------------
     def base_spec(self) -> ScenarioSpec:
-        return scenarios.get(self.preset) if self.preset else self.base
+        if self.preset:
+            return scenarios.get(self.preset)
+        assert self.base is not None  # __post_init__: exactly one is set
+        return self.base
 
     def n_cells(self) -> int:
         n_axes = 1

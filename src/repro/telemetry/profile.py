@@ -17,7 +17,7 @@ byte-identity surface and the differential outcome tests exclude them.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 #: Heap label of the incremental mode's single global deadline heap.
 GLOBAL_HEAP = "@global"

@@ -124,7 +124,7 @@ class TraceRecorder:
 
     def write_chrome(self, path) -> None:
         with open(path, "w") as handle:
-            json.dump(self.chrome_trace(), handle)
+            json.dump(self.chrome_trace(), handle, sort_keys=True)
             handle.write("\n")
 
 

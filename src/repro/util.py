@@ -1,0 +1,24 @@
+"""Small shared helpers with no dependencies on the rest of the package.
+
+Currently: nearest-match suggestions for user-facing name errors.  The
+helper started life inside :func:`repro.scenarios.spec.with_overrides`
+(bad ``--set`` paths) and is shared verbatim by the lint CLI's unknown
+``--rule`` / suppression-comment diagnostics — one suggestion voice
+everywhere a typo can reach the user.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Sequence
+
+
+def did_you_mean(name: str, candidates: Sequence[str]) -> str:
+    """`` (did you mean ...?)`` for the closest candidate, or ``""``.
+
+    Returns a suffix ready to append to an error message; empty when
+    nothing is close enough (cutoff 0.4, same as difflib's default
+    neighbourhood but permissive enough for dotted paths).
+    """
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.4)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""

@@ -1,0 +1,7 @@
+"""Fixture: a typo'd rule name in a disable comment (usage error)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=wall-clok-in-sim

@@ -1,0 +1,14 @@
+"""Fixture: ``telemetry-purity`` fires (unguarded optional-slot emission)."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.trace = None
+        self.profile = None
+
+    def step(self, now: float) -> None:
+        self.trace.record(now, "step")
+
+    def account(self, ns: int) -> None:
+        prof = self.profile
+        prof.note_recompute(ns, 1)

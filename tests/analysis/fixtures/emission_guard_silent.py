@@ -1,0 +1,26 @@
+"""Fixture: ``telemetry-purity`` silent (guarded emissions, off = free)."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.trace = None
+        self.profile = None
+
+    def step(self, now: float) -> None:
+        if self.trace is not None:
+            self.trace.record(now, "step")
+
+    def account(self, ns: int) -> None:
+        prof = self.profile
+        if prof is not None:
+            prof.note_recompute(ns, 1)
+
+
+class Accountant:
+    """A mandatory attribute named ``trace`` is not a telemetry slot."""
+
+    def __init__(self, ledger) -> None:
+        self.trace = ledger
+
+    def step(self, now: float) -> None:
+        self.trace.record(now, "step")

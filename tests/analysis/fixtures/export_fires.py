@@ -1,0 +1,11 @@
+"""Fixture: ``naked-dict-order-export`` fires (insertion-order bytes)."""
+
+import json
+
+
+def export(document, handle) -> None:
+    json.dump(document, handle)
+
+
+def render(document) -> str:
+    return json.dumps(document, indent=2)

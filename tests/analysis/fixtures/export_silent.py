@@ -1,0 +1,11 @@
+"""Fixture: ``naked-dict-order-export`` silent (canonical key order)."""
+
+import json
+
+
+def export(document, handle) -> None:
+    json.dump(document, handle, sort_keys=True)
+
+
+def render(document) -> str:
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,9 @@
+"""Fixture: ``id-ordering`` fires (address used as an ordering key)."""
+
+
+def order(items):
+    return sorted(items, key=lambda item: id(item))
+
+
+def newest(objects):
+    return max(objects, key=lambda o: (o.rank, id(o)))

@@ -1,0 +1,13 @@
+"""Fixture: ``id-ordering`` silent (stable domain keys)."""
+
+
+def order(items):
+    return sorted(items, key=lambda item: item.name)
+
+
+def newest(objects):
+    return max(objects, key=lambda o: (o.rank, o.name))
+
+
+def label(obj) -> int:
+    return id(obj)  # bare identity read, not an ordering

@@ -1,0 +1,16 @@
+"""Fixture: ``unordered-set-iteration`` fires (in-scope set loops)."""
+
+
+def total(values: set) -> float:
+    out = 0.0
+    for value in values:
+        out += value
+    return out
+
+
+def first_ids(transfers: set):
+    return [t.id for t in transfers]
+
+
+def weight(holders: set) -> float:
+    return sum(h.weight for h in holders)

@@ -1,0 +1,16 @@
+"""Fixture: ``unordered-set-iteration`` silent (sorted / set-to-set)."""
+
+
+def total(values: set) -> float:
+    out = 0.0
+    for value in sorted(values):
+        out += value
+    return out
+
+
+def doubled(values: set) -> set:
+    return {v * 2 for v in values}
+
+
+def weight(holders: set) -> float:
+    return sum(h.weight for h in sorted(holders))

@@ -1,0 +1,7 @@
+"""Fixture: ``telemetry-purity`` fires inside the telemetry package."""
+
+from ..sim.engine import Simulator
+
+
+def replicate_on_trace(swarm, digest: str, device: str) -> None:
+    swarm.pull(device, digest)

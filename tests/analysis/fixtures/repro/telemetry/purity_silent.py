@@ -1,0 +1,10 @@
+"""Fixture: ``telemetry-purity`` silent inside the telemetry package."""
+
+from typing import Any, Dict
+
+
+def summarise(events) -> Dict[str, Any]:
+    kinds: Dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    return kinds

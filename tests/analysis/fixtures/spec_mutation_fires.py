@@ -1,0 +1,14 @@
+"""Fixture: ``frozen-spec-mutation`` fires (post-construction writes)."""
+
+
+def retarget(spec, devices: int):
+    spec.devices = devices
+    return spec
+
+
+def tweak(run_spec, seed: int):
+    run_spec.seed = seed
+
+
+def force(spec, value: int) -> None:
+    object.__setattr__(spec, "devices", value)

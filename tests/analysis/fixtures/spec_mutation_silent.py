@@ -1,0 +1,11 @@
+"""Fixture: ``frozen-spec-mutation`` silent (derive, never mutate)."""
+
+import dataclasses
+
+
+def retarget(spec, devices: int):
+    return dataclasses.replace(spec, devices=devices)
+
+
+def tweak(spec, seed: int):
+    return spec.with_overrides({"seed": seed})

@@ -1,0 +1,16 @@
+"""Fixture: ``spec-roundtrip-coverage`` fires (field skips to_dict)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DemoSpec:
+    alpha: int
+    beta: int = 0
+
+    def to_dict(self):
+        return {"alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(alpha=data["alpha"])

@@ -1,0 +1,20 @@
+"""Fixture: ``spec-roundtrip-coverage`` silent (full field coverage)."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+_FIELDS = {"alpha": int, "beta": int}
+
+
+@dataclass(frozen=True)
+class DemoSpec:
+    alpha: int
+    beta: int = 0
+    schema: ClassVar[int] = 1
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{name: data[name] for name in _FIELDS})

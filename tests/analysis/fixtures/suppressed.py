@@ -1,0 +1,12 @@
+"""Fixture: one used and one stale suppression (metering)."""
+
+import time
+
+
+def stamp() -> float:
+    # repro-lint: disable=wall-clock-in-sim
+    return time.time()
+
+
+def quiet() -> int:
+    return 1  # repro-lint: disable=unseeded-rng

@@ -1,0 +1,13 @@
+"""Fixture: ``unseeded-rng`` fires (global state and seedless ctor)."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def stream():
+    return np.random.default_rng()

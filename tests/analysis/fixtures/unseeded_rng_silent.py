@@ -1,0 +1,13 @@
+"""Fixture: ``unseeded-rng`` silent (explicitly seeded generators)."""
+
+import random
+
+import numpy as np
+
+
+def stream(seed: int):
+    return np.random.default_rng(seed)
+
+
+def legacy(seed: int):
+    return random.Random(seed)

@@ -1,0 +1,12 @@
+"""Fixture: ``wall-clock-in-sim`` fires (host clock outside allowlist)."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,9 @@
+"""Fixture: ``wall-clock-in-sim`` silent (simulated clock only)."""
+
+
+def stamp(sim) -> float:
+    return sim.now
+
+
+def elapsed(sim, start_s: float) -> float:
+    return sim.now - start_s

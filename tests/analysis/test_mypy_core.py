@@ -1,0 +1,37 @@
+"""mypy over the strict-typed core subset (skips when mypy is absent).
+
+The offline dev image does not ship mypy; CI installs the pinned
+version (see the lint-smoke job) and runs this test there.  The subset
+and its flags live in setup.cfg so the CLI invocation and this test
+can never drift apart.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CORE_SUBSET = [
+    "src/repro/model/units.py",
+    "src/repro/scenarios/spec.py",
+    "src/repro/sweep/spec.py",
+    "src/repro/analysis",
+]
+
+
+def test_core_subset_typechecks():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "setup.cfg"]
+        + CORE_SUBSET,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"mypy failed on the core subset:\n{result.stdout}{result.stderr}"
+    )

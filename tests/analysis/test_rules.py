@@ -1,0 +1,97 @@
+"""Paired fires/silent fixtures: every registered rule must detect its
+hazard and stay quiet on the idiomatic fix.
+
+The fixture paths mirror the scoping the rules key on: set-iteration
+fixtures live under ``fixtures/repro/sim/`` and telemetry-package
+fixtures under ``fixtures/repro/telemetry/`` so the path-based
+``LintConfig`` scopes apply to them exactly as they do in the tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, rule_names
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: (rule, fixture that must fire, fixture that must stay silent)
+CASES = [
+    (
+        "wall-clock-in-sim",
+        "wall_clock_fires.py",
+        "wall_clock_silent.py",
+    ),
+    (
+        "unseeded-rng",
+        "unseeded_rng_fires.py",
+        "unseeded_rng_silent.py",
+    ),
+    (
+        "unordered-set-iteration",
+        "repro/sim/set_iteration_fires.py",
+        "repro/sim/set_iteration_silent.py",
+    ),
+    (
+        "id-ordering",
+        "id_ordering_fires.py",
+        "id_ordering_silent.py",
+    ),
+    (
+        "frozen-spec-mutation",
+        "spec_mutation_fires.py",
+        "spec_mutation_silent.py",
+    ),
+    (
+        "telemetry-purity",
+        "emission_guard_fires.py",
+        "emission_guard_silent.py",
+    ),
+    (
+        "telemetry-purity",
+        "repro/telemetry/purity_fires.py",
+        "repro/telemetry/purity_silent.py",
+    ),
+    (
+        "spec-roundtrip-coverage",
+        "spec_roundtrip_fires.py",
+        "spec_roundtrip_silent.py",
+    ),
+    (
+        "naked-dict-order-export",
+        "export_fires.py",
+        "export_silent.py",
+    ),
+]
+
+
+def test_every_registered_rule_has_a_fixture_pair():
+    assert {case[0] for case in CASES} == set(rule_names())
+
+
+@pytest.mark.parametrize(
+    "rule,fires,silent", CASES, ids=[f"{c[0]}:{c[1]}" for c in CASES]
+)
+def test_fixture_pair(rule, fires, silent):
+    firing = lint_paths([str(FIXTURES / fires)], (rule,))
+    assert firing.findings, f"{fires} produced no {rule} finding"
+    assert all(f.rule == rule for f in firing.findings)
+
+    quiet = lint_paths([str(FIXTURES / silent)], (rule,))
+    assert not quiet.findings, (
+        f"{silent} should be clean for {rule}, got: "
+        f"{[f.render() for f in quiet.findings]}"
+    )
+
+
+def test_findings_are_sorted_and_renderable():
+    result = lint_paths(
+        [str(FIXTURES / "wall_clock_fires.py"),
+         str(FIXTURES / "export_fires.py")],
+    )
+    keys = [(f.path, f.line, f.col, f.rule) for f in result.findings]
+    assert keys == sorted(keys)
+    for finding in result.findings:
+        path, line, col, rest = finding.render().split(":", 3)
+        assert path.endswith(".py") and int(line) >= 1 and int(col) >= 0
+        assert finding.rule in rest

@@ -1,0 +1,68 @@
+"""Suppression metering: used vs stale entries, subset-run semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import UNUSED_SUPPRESSION, UnknownRuleError, lint_paths
+from repro.analysis.suppressions import SuppressionIndex
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SUPPRESSED = str(FIXTURES / "suppressed.py")
+
+
+def test_full_run_meters_and_reports_stale_suppressions():
+    result = lint_paths([SUPPRESSED])
+    # The wall-clock finding is silenced; nothing else fires...
+    assert not [f for f in result.findings if f.rule != UNUSED_SUPPRESSION]
+    # ...but the suppression that silenced nothing is itself reported.
+    stale = [f for f in result.findings if f.rule == UNUSED_SUPPRESSION]
+    assert len(stale) == 1
+    assert "unseeded-rng" in stale[0].message
+    assert len(result.suppressions) == 2
+    assert len(result.suppressions_used) == 1
+
+
+def test_subset_run_does_not_flag_unexercised_suppressions():
+    result = lint_paths([SUPPRESSED], ("wall-clock-in-sim",))
+    assert result.clean  # silenced finding, and no staleness check
+
+
+def test_comment_only_line_suppresses_the_line_below():
+    index = SuppressionIndex.parse(
+        "x.py",
+        "def f():\n"
+        "    # repro-lint: disable=wall-clock-in-sim\n"
+        "    return time.time()\n",
+    )
+    assert index.suppresses(3, "wall-clock-in-sim")
+    assert not index.suppresses(3, "unseeded-rng")
+    assert index.unused() == []
+
+
+def test_trailing_comment_suppresses_its_own_line_only():
+    index = SuppressionIndex.parse(
+        "x.py",
+        "a = time.time()  # repro-lint: disable=wall-clock-in-sim\n"
+        "b = time.time()\n",
+    )
+    assert index.suppresses(1, "wall-clock-in-sim")
+    assert not index.suppresses(2, "wall-clock-in-sim")
+
+
+def test_multiple_rules_in_one_comment():
+    index = SuppressionIndex.parse(
+        "x.py",
+        "x = 1  # repro-lint: disable=wall-clock-in-sim, unseeded-rng\n",
+    )
+    assert index.suppresses(1, "wall-clock-in-sim")
+    assert index.suppresses(1, "unseeded-rng")
+    assert len(index.entries) == 2
+
+
+def test_unknown_rule_in_comment_raises_with_suggestion():
+    with pytest.raises(UnknownRuleError) as excinfo:
+        SuppressionIndex.parse(
+            "x.py", "x = 1  # repro-lint: disable=unseeded-rgn\n"
+        )
+    assert "did you mean 'unseeded-rng'" in str(excinfo.value)
